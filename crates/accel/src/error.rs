@@ -1,0 +1,82 @@
+//! Error types for the accelerator substrate.
+
+use core::fmt;
+
+/// Errors produced by the accelerator models and allocator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AccelError {
+    /// A workload with zero MAC operations or zero sequence length.
+    EmptyWorkload,
+    /// The deadline is too short for the workload even with one MAC unit
+    /// per independent operation (the maximum useful parallelism).
+    DeadlineInfeasible {
+        /// The requested deadline in seconds.
+        deadline_s: f64,
+        /// The best achievable latency in seconds.
+        best_s: f64,
+    },
+    /// A parameter failed validation.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A functional simulation was configured inconsistently (e.g.,
+    /// weight matrix does not match the workload shape).
+    ShapeMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyWorkload => write!(f, "workload must have at least one MAC operation"),
+            Self::DeadlineInfeasible { deadline_s, best_s } => write!(
+                f,
+                "deadline {:.3} us is infeasible; best achievable latency is {:.3} us",
+                deadline_s * 1e6,
+                best_s * 1e6
+            ),
+            Self::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` is invalid: {value}")
+            }
+            Self::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccelError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T, E = AccelError> = core::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = AccelError::DeadlineInfeasible {
+            deadline_s: 1e-6,
+            best_s: 5e-6,
+        };
+        let text = e.to_string();
+        assert!(text.contains("1.000 us"));
+        assert!(text.contains("5.000 us"));
+        assert!(AccelError::EmptyWorkload.to_string().contains("MAC"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<AccelError>();
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the accelerator substrate.
+
+use mindful_accel::alloc::{allocate_non_pipelined, allocate_pipelined, best_allocation};
+use mindful_accel::design::AcceleratorDesign;
+use mindful_accel::sim::{simulate_dense, DenseLayer};
+use mindful_accel::tech::TechnologyNode;
+use mindful_accel::workload::{MacWorkload, NetworkWorkload};
+use proptest::prelude::*;
+
+fn arbitrary_network() -> impl Strategy<Value = NetworkWorkload> {
+    prop::collection::vec((1_u64..64, 1_u64..64), 1..5).prop_map(|layers| {
+        NetworkWorkload::new(
+            layers
+                .into_iter()
+                .map(|(inputs, outputs)| MacWorkload::dense(inputs, outputs).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
+/// Exact total steps for a shared pool, mirroring the allocator's model.
+fn steps(net: &NetworkWorkload, hw: u64) -> u64 {
+    net.layers()
+        .iter()
+        .map(|l| l.seq() * l.ops().div_ceil(hw))
+        .sum()
+}
+
+proptest! {
+    #[test]
+    fn non_pipelined_allocation_is_minimal_and_feasible(
+        net in arbitrary_network(),
+        budget_steps in 1_u64..20_000,
+    ) {
+        let node = TechnologyNode::NANGATE_45NM;
+        let deadline = node.mac_latency() * budget_steps as f64;
+        match allocate_non_pipelined(&net, node, deadline) {
+            Ok(alloc) => {
+                let hw = alloc.total_mac_hw();
+                prop_assert!(steps(&net, hw) <= budget_steps);
+                if hw > 1 {
+                    prop_assert!(steps(&net, hw - 1) > budget_steps, "not minimal");
+                }
+                prop_assert!(hw <= net.max_ops(), "violates Eq. 12 upper bound");
+            }
+            Err(_) => {
+                // Infeasible must really be infeasible at max parallelism.
+                prop_assert!(steps(&net, net.max_ops()) > budget_steps);
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_allocation_is_stage_minimal(
+        net in arbitrary_network(),
+        budget_steps in 1_u64..20_000,
+    ) {
+        let node = TechnologyNode::NANGATE_45NM;
+        let deadline = node.mac_latency() * budget_steps as f64;
+        if let Ok(alloc) = allocate_pipelined(&net, node, deadline) {
+            for (layer, &hw) in net.layers().iter().zip(alloc.per_layer()) {
+                let t = layer.seq() * layer.ops().div_ceil(hw);
+                prop_assert!(t <= budget_steps);
+                if hw > 1 {
+                    let fewer = layer.seq() * layer.ops().div_ceil(hw - 1);
+                    prop_assert!(fewer > budget_steps, "stage over-provisioned");
+                }
+            }
+            let total: u64 = alloc.per_layer().iter().sum();
+            prop_assert_eq!(total, alloc.total_mac_hw());
+            // Eq. 15: total never exceeds the sum of per-layer #MACop.
+            let cap: u64 = net.layers().iter().map(|l| l.ops()).sum();
+            prop_assert!(total <= cap);
+        }
+    }
+
+    #[test]
+    fn best_allocation_is_never_worse_than_either_mode(
+        net in arbitrary_network(),
+        budget_steps in 1_u64..20_000,
+    ) {
+        let node = TechnologyNode::NANGATE_45NM;
+        let deadline = node.mac_latency() * budget_steps as f64;
+        let best = best_allocation(&net, node, deadline);
+        let np = allocate_non_pipelined(&net, node, deadline);
+        let pl = allocate_pipelined(&net, node, deadline);
+        match best {
+            Ok(b) => {
+                if let Ok(a) = np {
+                    prop_assert!(b.total_mac_hw() <= a.total_mac_hw());
+                }
+                if let Ok(a) = pl {
+                    prop_assert!(b.total_mac_hw() <= a.total_mac_hw());
+                }
+            }
+            Err(_) => {
+                prop_assert!(np.is_err() && pl.is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn longer_deadlines_never_need_more_macs(
+        net in arbitrary_network(),
+        budget in 10_u64..10_000,
+        extra in 1_u64..10_000,
+    ) {
+        let node = TechnologyNode::NANGATE_45NM;
+        let short = node.mac_latency() * budget as f64;
+        let long = node.mac_latency() * (budget + extra) as f64;
+        if let (Ok(a), Ok(b)) = (
+            allocate_non_pipelined(&net, node, short),
+            allocate_non_pipelined(&net, node, long),
+        ) {
+            prop_assert!(b.total_mac_hw() <= a.total_mac_hw());
+        }
+    }
+
+    #[test]
+    fn simulation_equals_reference(
+        inputs in 1_usize..48,
+        outputs in 1_usize..32,
+        hw in 1_u64..64,
+        seed in 0_i32..1000,
+        relu in any::<bool>(),
+    ) {
+        let weights: Vec<i8> = (0..inputs * outputs)
+            .map(|i| (((i as i32) * 13 + seed) % 25 - 12) as i8)
+            .collect();
+        let bias: Vec<i32> = (0..outputs).map(|j| (j as i32 + seed) % 9 - 4).collect();
+        let layer = DenseLayer::new(inputs, outputs, weights, bias, relu).unwrap();
+        let x: Vec<i8> = (0..inputs).map(|i| (((i as i32) * 7 + seed) % 21 - 10) as i8).collect();
+        let sim = simulate_dense(&layer, &x, hw, TechnologyNode::NANGATE_45NM).unwrap();
+        prop_assert_eq!(sim.outputs, layer.reference(&x).unwrap());
+        prop_assert_eq!(sim.macs_issued, (inputs * outputs) as u64);
+        let eff_hw = hw.min(outputs as u64);
+        prop_assert_eq!(sim.cycles, inputs as u64 * (outputs as u64).div_ceil(eff_hw));
+    }
+
+    #[test]
+    fn design_power_is_monotone_in_every_dimension(
+        hw in 1_u64..512,
+        seq in 1_u64..4096,
+        ops in 1_u64..512,
+    ) {
+        let node = TechnologyNode::TSMC_130NM;
+        let base = AcceleratorDesign::new(node, hw, seq, ops).unwrap();
+        let more_hw = AcceleratorDesign::new(node, hw + 1, seq, ops).unwrap();
+        let more_seq = AcceleratorDesign::new(node, hw, seq + 1, ops).unwrap();
+        prop_assert!(more_hw.layer_power() > base.layer_power());
+        prop_assert!(more_seq.layer_power() >= base.layer_power());
+        // PE share lies in (0, 1).
+        let share = base.pe_share();
+        prop_assert!(share > 0.0 && share < 1.0);
+    }
+}

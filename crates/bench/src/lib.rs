@@ -1,0 +1,12 @@
+//! # MINDFUL bench — benchmark support
+//!
+//! The Criterion benchmarks live in `benches/`: `figures` times the
+//! regeneration of every paper table/figure, `substrates` times the
+//! hot paths of each substrate crate. This library only re-exports the
+//! generation entry points so the benches stay thin.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+#![forbid(unsafe_code)]
+
+pub use mindful_experiments as experiments;

@@ -1,0 +1,155 @@
+//! The safety power budget (Section 3.2, Eq. 3).
+//!
+//! Brain tissue must not warm by more than 1–2 °C; with cortical blood flow
+//! this translates into a maximum sustained power density of 40 mW/cm² for
+//! a subdural implant. Given a chip's brain-contact area, the *power
+//! budget* is the maximum safe total power:
+//!
+//! ```text
+//! P_budget(n) = A_soc(n) · 40 mW/cm²          (Eq. 3)
+//! ```
+
+use crate::error::{CoreError, Result};
+use crate::units::{Area, Power, PowerDensity};
+
+/// The safe power-density limit for an implanted device: 40 mW/cm².
+///
+/// See Wolf & Reichert (2008) and Serrano-Amenos et al. (2020), cited in
+/// Section 3.2 of the paper.
+pub const SAFE_POWER_DENSITY: PowerDensity =
+    PowerDensity::from_milliwatts_per_square_centimeter(40.0);
+
+/// Computes the power budget `P_budget = A · 40 mW/cm²` for a contact area.
+///
+/// # Examples
+///
+/// ```
+/// use mindful_core::budget::power_budget;
+/// use mindful_core::units::Area;
+///
+/// // A 144 mm² implant may dissipate at most 57.6 mW.
+/// let budget = power_budget(Area::from_square_millimeters(144.0));
+/// assert!((budget.milliwatts() - 57.6).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn power_budget(area: Area) -> Power {
+    SAFE_POWER_DENSITY * area
+}
+
+/// Computes the minimum contact area needed to dissipate `power` safely.
+///
+/// This is the inverse of [`power_budget`]: `A_min = P / 40 mW/cm²`.
+#[must_use]
+pub fn minimum_safe_area(power: Power) -> Area {
+    power / SAFE_POWER_DENSITY
+}
+
+/// Returns the fraction of the power budget a design consumes
+/// (`P_soc / P_budget`); values above 1 are unsafe.
+///
+/// # Errors
+///
+/// Returns [`CoreError::NonPhysicalArea`] if `area` is not strictly
+/// positive.
+pub fn budget_utilization(power: Power, area: Area) -> Result<f64> {
+    if area.square_meters() <= 0.0 {
+        return Err(CoreError::NonPhysicalArea { area });
+    }
+    Ok(power / power_budget(area))
+}
+
+/// Checks a design point against the safety limit (Eq. 3).
+///
+/// # Errors
+///
+/// Returns [`CoreError::PowerBudgetExceeded`] when the design is over
+/// budget and [`CoreError::NonPhysicalArea`] for a non-positive area.
+pub fn check_safety(power: Power, area: Area) -> Result<()> {
+    if area.square_meters() <= 0.0 {
+        return Err(CoreError::NonPhysicalArea { area });
+    }
+    let budget = power_budget(area);
+    if power > budget {
+        Err(CoreError::PowerBudgetExceeded { power, budget })
+    } else {
+        Ok(())
+    }
+}
+
+/// The margin left under the budget (`P_budget − P_soc`); negative when the
+/// design is over budget.
+#[must_use]
+pub fn budget_margin(power: Power, area: Area) -> Power {
+    power_budget(area) - power
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limit_is_forty_milliwatts_per_square_centimeter() {
+        assert!((SAFE_POWER_DENSITY.milliwatts_per_square_centimeter() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_of_one_square_centimeter_is_forty_milliwatts() {
+        let b = power_budget(Area::from_square_centimeters(1.0));
+        assert!((b.milliwatts() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minimum_area_inverts_budget() {
+        let area = Area::from_square_millimeters(20.0);
+        let b = power_budget(area);
+        let back = minimum_safe_area(b);
+        assert!((back.square_millimeters() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_at_exactly_budget_is_one() {
+        let area = Area::from_square_millimeters(144.0);
+        let u = budget_utilization(power_budget(area), area).unwrap();
+        assert!((u - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_rejects_zero_area() {
+        let err = budget_utilization(Power::from_milliwatts(1.0), Area::ZERO).unwrap_err();
+        assert!(matches!(err, CoreError::NonPhysicalArea { .. }));
+    }
+
+    #[test]
+    fn check_safety_accepts_under_budget() {
+        // BISC at 1024 channels: 38.88 mW on 144 mm² (budget 57.6 mW).
+        assert!(check_safety(
+            Power::from_milliwatts(38.88),
+            Area::from_square_millimeters(144.0)
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn check_safety_rejects_over_budget() {
+        // HALO as published: 15 mW on 1 mm² (budget 0.4 mW).
+        let err = check_safety(
+            Power::from_milliwatts(15.0),
+            Area::from_square_millimeters(1.0),
+        )
+        .unwrap_err();
+        match err {
+            CoreError::PowerBudgetExceeded { power, budget } => {
+                assert!((power.milliwatts() - 15.0).abs() < 1e-9);
+                assert!((budget.milliwatts() - 0.4).abs() < 1e-9);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn margin_sign_tracks_safety() {
+        let area = Area::from_square_millimeters(100.0);
+        assert!(!budget_margin(Power::from_milliwatts(1.0), area).is_negative());
+        assert!(budget_margin(Power::from_watts(1.0), area).is_negative());
+    }
+}

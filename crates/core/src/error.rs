@@ -1,0 +1,173 @@
+//! Error types for the MINDFUL analytical framework.
+
+use core::fmt;
+
+use crate::units::{Area, Power};
+
+/// Errors produced by the MINDFUL core framework.
+///
+/// All library entry points that can fail return `Result<_, CoreError>`;
+/// library code never panics on bad input.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A channel count of zero was supplied where at least one channel is
+    /// required.
+    ZeroChannels,
+    /// A parameter that must be strictly positive was zero or negative.
+    NonPositiveParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The supplied value (in SI base units for quantities).
+        value: f64,
+    },
+    /// A fraction parameter fell outside `[0, 1]`.
+    FractionOutOfRange {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The supplied value.
+        value: f64,
+    },
+    /// A design's total power exceeds the safe power budget.
+    PowerBudgetExceeded {
+        /// The design's total power.
+        power: Power,
+        /// The budget implied by the design's area.
+        budget: Power,
+    },
+    /// A projection was requested below the design's reference channel
+    /// count (the beyond-1024 equations only apply at or above it).
+    BelowReferenceChannels {
+        /// Requested channel count.
+        requested: u64,
+        /// Reference channel count of the scaled design.
+        reference: u64,
+    },
+    /// A requested SoC id does not exist in the database.
+    UnknownSoc {
+        /// The requested 1-based id.
+        id: u8,
+    },
+    /// The requested operation needs a wireless SoC but the design is wired.
+    NotWireless {
+        /// Name of the SoC.
+        name: &'static str,
+    },
+    /// A numeric solver failed to converge or the problem is infeasible.
+    Infeasible {
+        /// Human-readable description of what could not be satisfied.
+        reason: String,
+    },
+    /// An area became non-physical (zero or negative) during scaling.
+    NonPhysicalArea {
+        /// The offending area.
+        area: Area,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroChannels => write!(f, "channel count must be at least 1"),
+            Self::NonPositiveParameter { name, value } => {
+                write!(f, "parameter `{name}` must be positive, got {value}")
+            }
+            Self::FractionOutOfRange { name, value } => {
+                write!(f, "parameter `{name}` must lie in [0, 1], got {value}")
+            }
+            Self::PowerBudgetExceeded { power, budget } => write!(
+                f,
+                "total power {:.3} mW exceeds the safe budget {:.3} mW",
+                power.milliwatts(),
+                budget.milliwatts()
+            ),
+            Self::BelowReferenceChannels {
+                requested,
+                reference,
+            } => write!(
+                f,
+                "projection requested at {requested} channels, below the reference point {reference}"
+            ),
+            Self::UnknownSoc { id } => write!(f, "no SoC with id {id} in the database"),
+            Self::NotWireless { name } => {
+                write!(f, "SoC `{name}` has no wireless transceiver")
+            }
+            Self::Infeasible { reason } => write!(f, "infeasible: {reason}"),
+            Self::NonPhysicalArea { area } => write!(
+                f,
+                "area became non-physical during scaling: {:.6} mm^2",
+                area.square_millimeters()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T, E = CoreError> = core::result::Result<T, E>;
+
+/// Validates that a value is strictly positive.
+pub(crate) fn ensure_positive(name: &'static str, value: f64) -> Result<()> {
+    if value > 0.0 && value.is_finite() {
+        Ok(())
+    } else {
+        Err(CoreError::NonPositiveParameter { name, value })
+    }
+}
+
+/// Validates that a value lies in `[0, 1]`.
+pub(crate) fn ensure_fraction(name: &'static str, value: f64) -> Result<()> {
+    if (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(CoreError::FractionOutOfRange { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CoreError::ZeroChannels;
+        assert_eq!(e.to_string(), "channel count must be at least 1");
+
+        let e = CoreError::PowerBudgetExceeded {
+            power: Power::from_milliwatts(100.0),
+            budget: Power::from_milliwatts(57.6),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("100.000 mW"));
+        assert!(msg.contains("57.600 mW"));
+
+        let e = CoreError::UnknownSoc { id: 42 };
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_good_err<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_good_err::<CoreError>();
+    }
+
+    #[test]
+    fn ensure_positive_accepts_and_rejects() {
+        assert!(ensure_positive("x", 1.0).is_ok());
+        assert!(ensure_positive("x", 0.0).is_err());
+        assert!(ensure_positive("x", -1.0).is_err());
+        assert!(ensure_positive("x", f64::NAN).is_err());
+        assert!(ensure_positive("x", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn ensure_fraction_accepts_and_rejects() {
+        assert!(ensure_fraction("x", 0.0).is_ok());
+        assert!(ensure_fraction("x", 1.0).is_ok());
+        assert!(ensure_fraction("x", 0.5).is_ok());
+        assert!(ensure_fraction("x", -0.01).is_err());
+        assert!(ensure_fraction("x", 1.01).is_err());
+        assert!(ensure_fraction("x", f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for the decoding substrate.
+
+use core::fmt;
+
+/// Errors produced by decoder calibration and inference.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// Not enough calibration data to fit the model.
+    InsufficientData {
+        /// Samples provided.
+        provided: usize,
+        /// Minimum required.
+        required: usize,
+    },
+    /// Observation width differs from the calibrated width.
+    ShapeMismatch {
+        /// Expected width.
+        expected: usize,
+        /// Provided width.
+        actual: usize,
+    },
+    /// A matrix inversion failed (singular covariance).
+    Singular,
+    /// A parameter failed validation.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InsufficientData { provided, required } => write!(
+                f,
+                "insufficient calibration data: {provided} samples, need at least {required}"
+            ),
+            Self::ShapeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "shape mismatch: expected {expected} channels, got {actual}"
+                )
+            }
+            Self::Singular => write!(f, "covariance matrix is singular"),
+            Self::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` is invalid: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T, E = DecodeError> = core::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(DecodeError::Singular.to_string().contains("singular"));
+        assert!(DecodeError::InsufficientData {
+            provided: 3,
+            required: 10
+        }
+        .to_string()
+        .contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<DecodeError>();
+    }
+}

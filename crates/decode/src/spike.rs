@@ -1,0 +1,269 @@
+//! Threshold spike detection and activity-ranked channel dropout
+//! (Section 6.2, the `ChDr` optimization).
+//!
+//! Spike sorting-style methods reduce the neural data volume by filtering
+//! out inactive channels. This module implements the hardware-friendly
+//! first stage: a robust per-channel threshold detector (median absolute
+//! deviation noise estimate, as used in classic spike-sorting pipelines)
+//! and a selector that ranks channels by detected event rate to pick the
+//! `n' < n` *active* channels the on-implant DNN should consume.
+
+use crate::error::{DecodeError, Result};
+
+/// A per-channel threshold spike detector.
+#[derive(Debug, Clone)]
+pub struct SpikeDetector {
+    threshold: Vec<f64>,
+    baseline: Vec<f64>,
+    refractory: usize,
+    /// Steps remaining in each channel's refractory window.
+    holdoff: Vec<usize>,
+}
+
+impl SpikeDetector {
+    /// Calibrates thresholds from a quiet recording segment
+    /// (`rows × channels`): threshold = baseline + `k` × MAD-estimated
+    /// noise sigma.
+    ///
+    /// # Errors
+    ///
+    /// * [`DecodeError::InsufficientData`] for fewer than 32 rows.
+    /// * [`DecodeError::ShapeMismatch`] for ragged rows.
+    /// * [`DecodeError::InvalidParameter`] for a non-positive `k` or
+    ///   `refractory`.
+    pub fn calibrate(segment: &[Vec<f64>], k: f64, refractory: usize) -> Result<Self> {
+        if segment.len() < 32 {
+            return Err(DecodeError::InsufficientData {
+                provided: segment.len(),
+                required: 32,
+            });
+        }
+        if !(k > 0.0 && k.is_finite()) {
+            return Err(DecodeError::InvalidParameter {
+                name: "k",
+                value: k,
+            });
+        }
+        if refractory == 0 {
+            return Err(DecodeError::InvalidParameter {
+                name: "refractory",
+                value: 0.0,
+            });
+        }
+        let channels = segment[0].len();
+        if channels == 0 {
+            return Err(DecodeError::ShapeMismatch {
+                expected: 1,
+                actual: 0,
+            });
+        }
+        for row in segment {
+            if row.len() != channels {
+                return Err(DecodeError::ShapeMismatch {
+                    expected: channels,
+                    actual: row.len(),
+                });
+            }
+        }
+        let mut threshold = Vec::with_capacity(channels);
+        let mut baseline = Vec::with_capacity(channels);
+        let mut column: Vec<f64> = Vec::with_capacity(segment.len());
+        for c in 0..channels {
+            column.clear();
+            column.extend(segment.iter().map(|row| row[c]));
+            let med = median(&mut column);
+            let mut deviations: Vec<f64> = segment.iter().map(|r| (r[c] - med).abs()).collect();
+            let mad = median(&mut deviations);
+            // sigma ≈ MAD / 0.6745 for Gaussian noise.
+            let sigma = (mad / 0.6745).max(1e-9);
+            baseline.push(med);
+            threshold.push(med + k * sigma);
+        }
+        Ok(Self {
+            threshold,
+            baseline,
+            refractory,
+            holdoff: vec![0; channels],
+        })
+    }
+
+    /// Number of calibrated channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.threshold.len()
+    }
+
+    /// Per-channel thresholds.
+    #[must_use]
+    pub fn thresholds(&self) -> &[f64] {
+        &self.threshold
+    }
+
+    /// Per-channel baselines (median of the calibration segment).
+    #[must_use]
+    pub fn baselines(&self) -> &[f64] {
+        &self.baseline
+    }
+
+    /// Processes one frame; returns per-channel detection indicators.
+    /// Detections within a channel's refractory window are suppressed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::ShapeMismatch`] for a wrong frame width.
+    pub fn step(&mut self, frame: &[f64]) -> Result<Vec<bool>> {
+        if frame.len() != self.channels() {
+            return Err(DecodeError::ShapeMismatch {
+                expected: self.channels(),
+                actual: frame.len(),
+            });
+        }
+        Ok(frame
+            .iter()
+            .zip(self.threshold.iter())
+            .zip(self.holdoff.iter_mut())
+            .map(|((&v, &t), hold)| {
+                if *hold > 0 {
+                    *hold -= 1;
+                    false
+                } else if v > t {
+                    *hold = self.refractory;
+                    true
+                } else {
+                    false
+                }
+            })
+            .collect())
+    }
+
+    /// Counts detections per channel over a whole recording.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SpikeDetector::step`].
+    pub fn event_counts(&mut self, frames: &[Vec<f64>]) -> Result<Vec<u64>> {
+        self.holdoff.iter_mut().for_each(|h| *h = 0);
+        let mut counts = vec![0_u64; self.channels()];
+        for frame in frames {
+            for (count, hit) in counts.iter_mut().zip(self.step(frame)?) {
+                *count += u64::from(hit);
+            }
+        }
+        Ok(counts)
+    }
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        0.5 * (values[n / 2 - 1] + values[n / 2])
+    }
+}
+
+/// Selects the `keep` most active channels by detected event count
+/// (ties broken by lower index). Returns sorted channel indices.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::InvalidParameter`] when `keep` is zero or
+/// exceeds the channel count.
+pub fn select_active_channels(counts: &[u64], keep: usize) -> Result<Vec<usize>> {
+    if keep == 0 || keep > counts.len() {
+        return Err(DecodeError::InvalidParameter {
+            name: "keep",
+            value: keep as f64,
+        });
+    }
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by_key(|&i| (core::cmp::Reverse(counts[i]), i));
+    let mut chosen = order[..keep].to_vec();
+    chosen.sort_unstable();
+    Ok(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noise_segment(channels: usize, rows: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..rows)
+            .map(|_| {
+                (0..channels)
+                    .map(|_| rng.random::<f64>() * 0.2 - 0.1)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detects_clear_events_and_ignores_noise() {
+        let quiet = noise_segment(4, 200, 1);
+        let mut det = SpikeDetector::calibrate(&quiet, 4.5, 3).unwrap();
+        // A frame with a big deflection on channel 2 only.
+        let hits = det.step(&[0.0, 0.01, 5.0, -0.02]).unwrap();
+        assert_eq!(hits, vec![false, false, true, false]);
+        // Plain noise produces (almost) no detections.
+        let counts = det.event_counts(&quiet).unwrap();
+        let total: u64 = counts.iter().sum();
+        assert!(total <= 4, "false positives: {total}");
+    }
+
+    #[test]
+    fn refractory_suppresses_double_counting() {
+        let quiet = noise_segment(1, 100, 2);
+        let mut det = SpikeDetector::calibrate(&quiet, 4.0, 3).unwrap();
+        assert_eq!(det.step(&[5.0]).unwrap(), vec![true]);
+        assert_eq!(det.step(&[5.0]).unwrap(), vec![false]);
+        assert_eq!(det.step(&[5.0]).unwrap(), vec![false]);
+        assert_eq!(det.step(&[5.0]).unwrap(), vec![false]);
+        assert_eq!(det.step(&[5.0]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn thresholds_track_noise_level() {
+        let mut loud = noise_segment(2, 300, 3);
+        for row in &mut loud {
+            row[1] *= 10.0;
+        }
+        let det = SpikeDetector::calibrate(&loud, 4.0, 2).unwrap();
+        assert!(det.thresholds()[1] > det.thresholds()[0] * 3.0);
+        // Baselines stay near zero for zero-mean noise.
+        assert!(det.baselines().iter().all(|b| b.abs() < 0.2));
+    }
+
+    #[test]
+    fn active_channel_selection_ranks_by_count() {
+        let counts = [5_u64, 40, 0, 40, 12];
+        let top2 = select_active_channels(&counts, 2).unwrap();
+        assert_eq!(top2, vec![1, 3]);
+        let top3 = select_active_channels(&counts, 3).unwrap();
+        assert_eq!(top3, vec![1, 3, 4]);
+        assert!(select_active_channels(&counts, 0).is_err());
+        assert!(select_active_channels(&counts, 6).is_err());
+    }
+
+    #[test]
+    fn calibration_validation() {
+        let quiet = noise_segment(3, 200, 4);
+        assert!(SpikeDetector::calibrate(&quiet[..10], 4.0, 2).is_err());
+        assert!(SpikeDetector::calibrate(&quiet, 0.0, 2).is_err());
+        assert!(SpikeDetector::calibrate(&quiet, 4.0, 0).is_err());
+        let mut ragged = quiet.clone();
+        ragged[7] = vec![0.0; 2];
+        assert!(SpikeDetector::calibrate(&ragged, 4.0, 2).is_err());
+        let mut det = SpikeDetector::calibrate(&quiet, 4.0, 2).unwrap();
+        assert!(det.step(&[0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+}

@@ -1,0 +1,380 @@
+//! Forward-inference engine for the workload models.
+//!
+//! The analytic modules only count MACs; this module actually *runs* the
+//! networks in `f32`, so the end-to-end examples can decode synthetic
+//! neural data through the same architectures whose power the framework
+//! bounds. Weights are initialized deterministically (seeded, scaled
+//! uniform) — this repository models system cost, not training.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::arch::{Architecture, LayerSpec};
+use crate::error::{DnnError, Result};
+
+/// A network with materialized weights, ready to run.
+#[derive(Debug, Clone)]
+pub struct Network {
+    arch: Architecture,
+    /// Per-layer weight tensors (layout documented per layer kind).
+    weights: Vec<Vec<f32>>,
+    /// Per-layer bias vectors (one per produced channel/unit).
+    biases: Vec<Vec<f32>>,
+}
+
+impl Network {
+    /// Materializes an architecture with seeded Xavier-style weights.
+    #[must_use]
+    pub fn with_seeded_weights(arch: Architecture, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weights = Vec::with_capacity(arch.len());
+        let mut biases = Vec::with_capacity(arch.len());
+        for layer in arch.layers() {
+            let count = layer.weights() as usize;
+            let fan_in = fan_in(layer) as f32;
+            let scale = (2.0 / fan_in.max(1.0)).sqrt();
+            weights.push(
+                (0..count)
+                    .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale)
+                    .collect(),
+            );
+            biases.push(vec![0.01; produced_channels(layer) as usize]);
+        }
+        Self {
+            arch,
+            weights,
+            biases,
+        }
+    }
+
+    /// The underlying architecture.
+    #[must_use]
+    pub fn architecture(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The weight tensor of layer `index` (row-major for dense layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range — the architecture defines the
+    /// valid indices.
+    #[must_use]
+    pub fn layer_weights(&self, index: usize) -> &[f32] {
+        &self.weights[index]
+    }
+
+    /// The bias vector of layer `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn layer_biases(&self, index: usize) -> &[f32] {
+        &self.biases[index]
+    }
+
+    /// Total stored parameters (weights + biases).
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.weights.iter().map(Vec::len).sum::<usize>()
+            + self.biases.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Runs the network on a flattened input of
+    /// [`Architecture::input_values`] values.
+    ///
+    /// ReLU is applied after every layer except the last (the label
+    /// layer is linear, as in regression-style speech synthesis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] for a wrong input width.
+    pub fn forward(&self, input: &[f32]) -> Result<Vec<f32>> {
+        if input.len() as u64 != self.arch.input_values() {
+            return Err(DnnError::ShapeMismatch {
+                expected: self.arch.input_values() as usize,
+                actual: input.len(),
+            });
+        }
+        let mut activation = input.to_vec();
+        let last = self.arch.len() - 1;
+        for (idx, layer) in self.arch.layers().iter().enumerate() {
+            let raw = apply_layer(layer, &activation, &self.weights[idx], &self.biases[idx]);
+            activation = if idx == last {
+                raw
+            } else {
+                raw.into_iter().map(|v| v.max(0.0)).collect()
+            };
+        }
+        Ok(activation)
+    }
+
+    /// Runs the network on the on-implant prefix only, returning the
+    /// intermediate activations a partitioned deployment would transmit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::EmptyDimension`] for an invalid prefix length
+    /// and [`DnnError::ShapeMismatch`] for a wrong input width.
+    pub fn forward_prefix(&self, input: &[f32], keep: usize) -> Result<Vec<f32>> {
+        if keep == 0 || keep > self.arch.len() {
+            return Err(DnnError::EmptyDimension { name: "keep" });
+        }
+        if input.len() as u64 != self.arch.input_values() {
+            return Err(DnnError::ShapeMismatch {
+                expected: self.arch.input_values() as usize,
+                actual: input.len(),
+            });
+        }
+        let mut activation = input.to_vec();
+        for idx in 0..keep {
+            let layer = &self.arch.layers()[idx];
+            let raw = apply_layer(layer, &activation, &self.weights[idx], &self.biases[idx]);
+            activation = raw.into_iter().map(|v| v.max(0.0)).collect();
+        }
+        Ok(activation)
+    }
+}
+
+/// Fan-in (inputs per produced value) of a layer, for weight scaling.
+fn fan_in(layer: &LayerSpec) -> u64 {
+    match *layer {
+        LayerSpec::Dense { inputs, .. } => inputs,
+        LayerSpec::Conv1d {
+            in_channels,
+            kernel,
+            ..
+        }
+        | LayerSpec::DenseConv1d {
+            in_channels,
+            kernel,
+            ..
+        } => in_channels * kernel,
+        LayerSpec::Pool1d {
+            in_positions,
+            out_positions,
+            ..
+        } => in_positions / out_positions.max(1),
+    }
+}
+
+/// Channels/units that receive a bias in this layer.
+fn produced_channels(layer: &LayerSpec) -> u64 {
+    match *layer {
+        LayerSpec::Dense { outputs, .. } => outputs,
+        LayerSpec::Conv1d { out_channels, .. } => out_channels,
+        LayerSpec::DenseConv1d { growth, .. } => growth,
+        LayerSpec::Pool1d { .. } => 0,
+    }
+}
+
+/// Applies one layer. Activations are channel-major (`ch · positions +
+/// pos`) for convolutional layers and flat vectors for dense layers.
+fn apply_layer(layer: &LayerSpec, input: &[f32], weights: &[f32], bias: &[f32]) -> Vec<f32> {
+    match *layer {
+        LayerSpec::Dense { inputs, outputs } => {
+            let inputs = inputs as usize;
+            (0..outputs as usize)
+                .map(|j| {
+                    let row = &weights[j * inputs..(j + 1) * inputs];
+                    bias[j] + row.iter().zip(input).map(|(w, x)| w * x).sum::<f32>()
+                })
+                .collect()
+        }
+        LayerSpec::Conv1d {
+            in_channels,
+            out_channels,
+            kernel,
+            positions,
+        } => conv1d(
+            input,
+            weights,
+            bias,
+            in_channels as usize,
+            out_channels as usize,
+            kernel as usize,
+            positions as usize,
+        ),
+        LayerSpec::DenseConv1d {
+            in_channels,
+            growth,
+            kernel,
+            positions,
+        } => {
+            let new = conv1d(
+                input,
+                weights,
+                bias,
+                in_channels as usize,
+                growth as usize,
+                kernel as usize,
+                positions as usize,
+            );
+            // Concatenate the input channels with the new features.
+            let mut out = Vec::with_capacity(input.len() + new.len());
+            out.extend_from_slice(input);
+            out.extend_from_slice(&new);
+            out
+        }
+        LayerSpec::Pool1d {
+            channels,
+            in_positions,
+            out_positions,
+        } => {
+            let (channels, inp, outp) = (
+                channels as usize,
+                in_positions as usize,
+                out_positions as usize,
+            );
+            let window = inp / outp;
+            let mut out = vec![0.0_f32; channels * outp];
+            for c in 0..channels {
+                for q in 0..outp {
+                    let start = c * inp + q * window;
+                    let sum: f32 = input[start..start + window].iter().sum();
+                    out[c * outp + q] = sum / window as f32;
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Same-padded 1-D convolution, channel-major layout.
+fn conv1d(
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    positions: usize,
+) -> Vec<f32> {
+    let half = kernel / 2;
+    let mut out = vec![0.0_f32; out_channels * positions];
+    for oc in 0..out_channels {
+        for p in 0..positions {
+            let mut acc = bias[oc];
+            for ic in 0..in_channels {
+                for j in 0..kernel {
+                    let src = p + j;
+                    if src < half || src - half >= positions {
+                        continue;
+                    }
+                    let w = weights[(oc * in_channels + ic) * kernel + j];
+                    acc += w * input[ic * positions + (src - half)];
+                }
+            }
+            out[oc * positions + p] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{ModelFamily, BASE_CHANNELS, OUTPUT_LABELS};
+
+    #[test]
+    fn mlp_forward_produces_forty_labels() {
+        let arch = ModelFamily::Mlp.architecture(BASE_CHANNELS).unwrap();
+        let net = Network::with_seeded_weights(arch, 7);
+        let input = vec![0.5_f32; BASE_CHANNELS as usize];
+        let out = net.forward(&input).unwrap();
+        assert_eq!(out.len(), OUTPUT_LABELS as usize);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn dn_cnn_forward_produces_forty_labels() {
+        let arch = ModelFamily::DnCnn.architecture(BASE_CHANNELS).unwrap();
+        let net = Network::with_seeded_weights(arch, 7);
+        let input = vec![0.1_f32; net.architecture().input_values() as usize];
+        let out = net.forward(&input).unwrap();
+        assert_eq!(out.len(), OUTPUT_LABELS as usize);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn inference_is_deterministic_per_seed() {
+        let arch = ModelFamily::Mlp.architecture(BASE_CHANNELS).unwrap();
+        let a = Network::with_seeded_weights(arch.clone(), 42);
+        let b = Network::with_seeded_weights(arch.clone(), 42);
+        let c = Network::with_seeded_weights(arch, 43);
+        let input: Vec<f32> = (0..128).map(|i| (i as f32) / 128.0).collect();
+        assert_eq!(a.forward(&input).unwrap(), b.forward(&input).unwrap());
+        assert_ne!(a.forward(&input).unwrap(), c.forward(&input).unwrap());
+    }
+
+    #[test]
+    fn different_inputs_give_different_outputs() {
+        let arch = ModelFamily::Mlp.architecture(BASE_CHANNELS).unwrap();
+        let net = Network::with_seeded_weights(arch, 1);
+        let x = vec![0.2_f32; 128];
+        let y = vec![0.8_f32; 128];
+        assert_ne!(net.forward(&x).unwrap(), net.forward(&y).unwrap());
+    }
+
+    #[test]
+    fn prefix_matches_manual_truncation() {
+        let arch = ModelFamily::Mlp.architecture(BASE_CHANNELS).unwrap();
+        let net = Network::with_seeded_weights(arch.clone(), 9);
+        let input: Vec<f32> = (0..128).map(|i| (i as f32 % 5.0) / 5.0).collect();
+        let mid = net.forward_prefix(&input, 2).unwrap();
+        assert_eq!(mid.len() as u64, arch.layers()[1].output_values());
+        assert!(mid.iter().all(|&v| v >= 0.0), "prefix output is post-ReLU");
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let arch = ModelFamily::Mlp.architecture(BASE_CHANNELS).unwrap();
+        let net = Network::with_seeded_weights(arch, 3);
+        assert!(matches!(
+            net.forward(&vec![0.0; 127]),
+            Err(DnnError::ShapeMismatch {
+                expected: 128,
+                actual: 127
+            })
+        ));
+        assert!(net.forward_prefix(&vec![0.0; 128], 0).is_err());
+        assert!(net.forward_prefix(&vec![0.0; 128], 99).is_err());
+    }
+
+    #[test]
+    fn parameter_count_matches_architecture_weights() {
+        let arch = ModelFamily::Mlp.architecture(BASE_CHANNELS).unwrap();
+        let weights = arch.weights() as usize;
+        let net = Network::with_seeded_weights(arch, 0);
+        assert!(net.parameter_count() >= weights);
+        // Biases are small relative to weights.
+        assert!(net.parameter_count() < weights + weights / 10 + 10_000);
+    }
+
+    #[test]
+    fn pooling_averages_windows() {
+        let layer = LayerSpec::Pool1d {
+            channels: 2,
+            in_positions: 4,
+            out_positions: 2,
+        };
+        let input = [1.0, 3.0, 5.0, 7.0, 10.0, 20.0, 30.0, 40.0];
+        let out = apply_layer(&layer, &input, &[], &[]);
+        assert_eq!(out, vec![2.0, 6.0, 15.0, 35.0]);
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        // A single-channel conv with kernel [0, 1, 0] is identity.
+        let out = conv1d(&[1.0, 2.0, 3.0, 4.0], &[0.0, 1.0, 0.0], &[0.0], 1, 1, 3, 4);
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn conv_edges_are_zero_padded() {
+        // Kernel [1, 0, 0] shifts left ... check padding behaviour.
+        let out = conv1d(&[1.0, 2.0, 3.0, 4.0], &[1.0, 0.0, 0.0], &[0.0], 1, 1, 3, 4);
+        assert_eq!(out, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,243 @@
+//! 8-bit quantization — the bridge between the `f32` inference engine
+//! and the accelerator's integer datapath.
+//!
+//! The Fig. 9 accelerator is synthesized for an 8-bit datatype; this
+//! module quantizes a dense layer's weights to `i8` with a per-layer
+//! symmetric scale and verifies (in tests) that the integer datapath the
+//! cycle simulator executes tracks the floating-point reference within
+//! the expected quantization error.
+
+use crate::arch::LayerSpec;
+use crate::error::{DnnError, Result};
+use crate::infer::Network;
+
+/// A dense layer quantized to the accelerator's 8-bit datatype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedDense {
+    inputs: usize,
+    outputs: usize,
+    /// Row-major `i8` weights.
+    weights: Vec<i8>,
+    /// Bias in the integer accumulator domain.
+    bias: Vec<i32>,
+    /// Weight scale: `w_f32 ≈ w_i8 · weight_scale`.
+    weight_scale: f32,
+    /// Input scale assumed at quantization time.
+    input_scale: f32,
+}
+
+impl QuantizedDense {
+    /// Quantizes layer `index` of a materialized network with symmetric
+    /// per-layer scales. `input_scale` maps `f32` activations to the
+    /// `i8` domain (`x_i8 = round(x_f32 / input_scale)`).
+    ///
+    /// # Errors
+    ///
+    /// * [`DnnError::EmptyDimension`] if `index` is out of range.
+    /// * [`DnnError::Infeasible`] if the layer is not dense or the input
+    ///   scale is not positive.
+    pub fn from_network(network: &Network, index: usize, input_scale: f32) -> Result<Self> {
+        if !(input_scale > 0.0 && input_scale.is_finite()) {
+            return Err(DnnError::Infeasible {
+                reason: format!("input scale must be positive, got {input_scale}"),
+            });
+        }
+        let arch = network.architecture();
+        let Some(layer) = arch.layers().get(index) else {
+            return Err(DnnError::EmptyDimension {
+                name: "layer index",
+            });
+        };
+        let LayerSpec::Dense { inputs, outputs } = *layer else {
+            return Err(DnnError::Infeasible {
+                reason: format!("layer {index} is not dense: {layer}"),
+            });
+        };
+        let weights_f32 = network.layer_weights(index);
+        let biases_f32 = network.layer_biases(index);
+
+        let max_abs = weights_f32
+            .iter()
+            .fold(0.0_f32, |acc, w| acc.max(w.abs()))
+            .max(1e-12);
+        let weight_scale = max_abs / 127.0;
+        let weights: Vec<i8> = weights_f32
+            .iter()
+            .map(|w| (w / weight_scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        // Accumulator domain: x_i8 · w_i8 sums scale by (input·weight).
+        let acc_scale = input_scale * weight_scale;
+        let bias: Vec<i32> = biases_f32
+            .iter()
+            .map(|b| (b / acc_scale).round() as i32)
+            .collect();
+        Ok(Self {
+            inputs: inputs as usize,
+            outputs: outputs as usize,
+            weights,
+            bias,
+            weight_scale,
+            input_scale,
+        })
+    }
+
+    /// Input width.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// The quantized weights (row-major), e.g. for loading into
+    /// [`mindful_accel::sim::DenseLayer`].
+    #[must_use]
+    pub fn weights(&self) -> &[i8] {
+        &self.weights
+    }
+
+    /// The integer-domain biases.
+    #[must_use]
+    pub fn bias(&self) -> &[i32] {
+        &self.bias
+    }
+
+    /// Quantizes an `f32` activation vector into the `i8` input domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] for a wrong width.
+    pub fn quantize_input(&self, x: &[f32]) -> Result<Vec<i8>> {
+        if x.len() != self.inputs {
+            return Err(DnnError::ShapeMismatch {
+                expected: self.inputs,
+                actual: x.len(),
+            });
+        }
+        Ok(x.iter()
+            .map(|v| (v / self.input_scale).round().clamp(-127.0, 127.0) as i8)
+            .collect())
+    }
+
+    /// Converts an integer accumulator result back to the `f32` domain.
+    #[must_use]
+    pub fn dequantize_output(&self, acc: &[i32]) -> Vec<f32> {
+        let scale = self.input_scale * self.weight_scale;
+        acc.iter().map(|&v| v as f32 * scale).collect()
+    }
+
+    /// The worst-case input magnitude representable without clipping.
+    #[must_use]
+    pub fn input_range(&self) -> f32 {
+        self.input_scale * 127.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+    use crate::models::ModelFamily;
+    use mindful_accel::sim::{simulate_dense, DenseLayer};
+    use mindful_accel::tech::TechnologyNode;
+
+    fn small_network(seed: u64) -> Network {
+        let arch = Architecture::new(
+            "q-test",
+            vec![
+                LayerSpec::Dense {
+                    inputs: 64,
+                    outputs: 32,
+                },
+                LayerSpec::Dense {
+                    inputs: 32,
+                    outputs: 8,
+                },
+            ],
+        )
+        .unwrap();
+        Network::with_seeded_weights(arch, seed)
+    }
+
+    #[test]
+    fn quantized_weights_cover_the_i8_range() {
+        let net = small_network(3);
+        let q = QuantizedDense::from_network(&net, 0, 0.01).unwrap();
+        let max = q.weights().iter().map(|w| w.unsigned_abs()).max().unwrap();
+        assert_eq!(max, 127, "the largest weight maps to full scale");
+        assert_eq!(q.weights().len(), 64 * 32);
+    }
+
+    #[test]
+    fn integer_datapath_tracks_f32_reference() {
+        // Quantize layer 0, run it on the accelerator's cycle simulator,
+        // and compare against the f32 forward prefix.
+        let net = small_network(7);
+        let input_scale = 0.01_f32;
+        let q = QuantizedDense::from_network(&net, 0, input_scale).unwrap();
+        let x_f32: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.017).sin() * 0.8).collect();
+        let x_i8 = q.quantize_input(&x_f32).unwrap();
+
+        let hw_layer = DenseLayer::new(
+            q.inputs(),
+            q.outputs(),
+            q.weights().to_vec(),
+            q.bias().to_vec(),
+            true,
+        )
+        .unwrap();
+        let sim = simulate_dense(&hw_layer, &x_i8, 8, TechnologyNode::NANGATE_45NM).unwrap();
+        let hw_out = q.dequantize_output(&sim.outputs);
+
+        let reference = net.forward_prefix(&x_f32, 1).unwrap();
+        assert_eq!(hw_out.len(), reference.len());
+        let mut max_err = 0.0_f32;
+        let mut max_mag = 0.0_f32;
+        for (h, r) in hw_out.iter().zip(&reference) {
+            max_err = max_err.max((h - r).abs());
+            max_mag = max_mag.max(r.abs());
+        }
+        assert!(
+            max_err <= 0.05 * max_mag.max(0.1),
+            "quantization error {max_err} vs magnitude {max_mag}"
+        );
+    }
+
+    #[test]
+    fn input_quantization_round_trips_within_half_lsb() {
+        let net = small_network(1);
+        let q = QuantizedDense::from_network(&net, 0, 0.02).unwrap();
+        for v in [-1.0_f32, -0.33, 0.0, 0.5, 1.2] {
+            let code = q.quantize_input(&vec![v; 64]).unwrap()[0];
+            let back = f32::from(code) * 0.02;
+            if v.abs() <= q.input_range() {
+                assert!((back - v).abs() <= 0.011, "{v} -> {back}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_dense_layers_are_rejected() {
+        let arch = ModelFamily::DnCnn.architecture(128).unwrap();
+        let net = Network::with_seeded_weights(arch, 0);
+        // Layer 0 of the DN-CNN is a conv.
+        assert!(matches!(
+            QuantizedDense::from_network(&net, 0, 0.01),
+            Err(DnnError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let net = small_network(2);
+        assert!(QuantizedDense::from_network(&net, 99, 0.01).is_err());
+        assert!(QuantizedDense::from_network(&net, 0, 0.0).is_err());
+        assert!(QuantizedDense::from_network(&net, 0, f32::NAN).is_err());
+        let q = QuantizedDense::from_network(&net, 0, 0.01).unwrap();
+        assert!(q.quantize_input(&[0.0; 3]).is_err());
+    }
+}

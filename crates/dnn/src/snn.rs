@@ -1,0 +1,317 @@
+//! Spiking-neural-network workload model — the extension the paper
+//! names in Section 7 ("we plan to extend this work to … additional
+//! computational models, such as SNNs", following Hueber et al.).
+//!
+//! A rate-coded SNN equivalent of a feed-forward decoder replaces each
+//! multiply-accumulate with an event-driven *accumulate*: a synapse only
+//! does work when its presynaptic neuron spikes. Per inference the
+//! expected synaptic operations are
+//!
+//! ```text
+//! ops = Σ_layers (synapses per layer) · activity · timesteps
+//! ```
+//!
+//! where `activity` is the mean spike probability per neuron per
+//! timestep and `timesteps` is how many network steps one inference
+//! integrates over. An accumulate costs a fraction of a MAC (no
+//! multiplier, and idle synapses cost nothing), so SNNs win below an
+//! activity threshold and lose above it — exactly the trade-off Hueber
+//! et al. report for closed-loop BCIs.
+
+use core::fmt;
+
+use mindful_accel::tech::TechnologyNode;
+use mindful_core::units::{Energy, Frequency, Power};
+
+use crate::arch::Architecture;
+use crate::error::{DnnError, Result};
+
+/// Energy of one synaptic accumulate relative to a full MAC.
+///
+/// An 8-bit accumulate is an adder plus event routing against an 8×8
+/// multiplier + adder; event-driven operation also skips the idle
+/// synapses a MAC array would clock anyway.
+pub const ACC_ENERGY_FRACTION: f64 = 0.2;
+
+/// Energy of one neuron membrane update relative to a full MAC
+/// (leak + compare + optional reset).
+pub const UPDATE_ENERGY_FRACTION: f64 = 0.3;
+
+/// Configuration of the rate-coded SNN conversion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnnConfig {
+    /// Mean spike probability per neuron per timestep, in `(0, 1]`.
+    pub activity: f64,
+    /// Network timesteps integrated per inference.
+    pub timesteps: u32,
+    /// Inference rate (defaults to the decoder's 2 kHz application
+    /// rate).
+    pub inference_rate: Frequency,
+}
+
+impl SnnConfig {
+    /// A typical sparse configuration: 10 % activity, 8 timesteps per
+    /// inference, 2 kHz inference rate.
+    #[must_use]
+    pub fn sparse() -> Self {
+        Self {
+            activity: 0.1,
+            timesteps: 8,
+            inference_rate: crate::models::APPLICATION_RATE,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::EmptyDimension`] for zero timesteps and
+    /// [`DnnError::Infeasible`] for an activity outside `(0, 1]` or a
+    /// non-positive inference rate.
+    pub fn validate(&self) -> Result<()> {
+        if self.timesteps == 0 {
+            return Err(DnnError::EmptyDimension { name: "timesteps" });
+        }
+        if !(self.activity > 0.0 && self.activity <= 1.0) {
+            return Err(DnnError::Infeasible {
+                reason: format!("activity must lie in (0, 1], got {}", self.activity),
+            });
+        }
+        if self.inference_rate.hertz() <= 0.0 {
+            return Err(DnnError::Infeasible {
+                reason: "inference rate must be positive".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A rate-coded SNN derived from a feed-forward architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnnNetwork {
+    name: String,
+    synapses: u64,
+    neurons: u64,
+    config: SnnConfig,
+}
+
+impl SnnNetwork {
+    /// Converts a feed-forward architecture: every weight becomes a
+    /// synapse, every produced activation a spiking neuron.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnnConfig::validate`] errors.
+    pub fn from_architecture(arch: &Architecture, config: SnnConfig) -> Result<Self> {
+        config.validate()?;
+        let neurons = arch.layers().iter().map(|l| l.output_values()).sum();
+        Ok(Self {
+            name: format!("SNN({})", arch.name()),
+            synapses: arch.weights(),
+            neurons,
+            config,
+        })
+    }
+
+    /// The network's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total synapses (= weights of the source architecture).
+    #[must_use]
+    pub fn synapses(&self) -> u64 {
+        self.synapses
+    }
+
+    /// Total spiking neurons.
+    #[must_use]
+    pub fn neurons(&self) -> u64 {
+        self.neurons
+    }
+
+    /// The conversion configuration.
+    #[must_use]
+    pub fn config(&self) -> SnnConfig {
+        self.config
+    }
+
+    /// Expected synaptic operations per second.
+    #[must_use]
+    pub fn synaptic_ops_per_second(&self) -> f64 {
+        self.synapses as f64
+            * self.config.activity
+            * f64::from(self.config.timesteps)
+            * self.config.inference_rate.hertz()
+    }
+
+    /// Neuron membrane updates per second (every neuron, every
+    /// timestep — updates are not event-driven).
+    #[must_use]
+    pub fn updates_per_second(&self) -> f64 {
+        self.neurons as f64 * f64::from(self.config.timesteps) * self.config.inference_rate.hertz()
+    }
+
+    /// The power lower bound on a technology node: synaptic accumulates
+    /// plus membrane updates at the node's per-MAC energy scaled by the
+    /// respective fractions.
+    #[must_use]
+    pub fn power_lower_bound(&self, node: TechnologyNode) -> Power {
+        let mac_energy: Energy = node.mac_power() * node.mac_latency();
+        let acc = mac_energy * ACC_ENERGY_FRACTION;
+        let upd = mac_energy * UPDATE_ENERGY_FRACTION;
+        Power::from_watts(
+            self.synaptic_ops_per_second() * acc.joules()
+                + self.updates_per_second() * upd.joules(),
+        )
+    }
+
+    /// Power of the equivalent clocked MAC implementation of the source
+    /// architecture's arithmetic at the same inference rate (for
+    /// comparison): every weight does one MAC per inference.
+    #[must_use]
+    pub fn dense_equivalent_power(&self, node: TechnologyNode) -> Power {
+        let mac_energy = node.mac_power() * node.mac_latency();
+        Power::from_watts(
+            self.synapses as f64 * self.config.inference_rate.hertz() * mac_energy.joules(),
+        )
+    }
+
+    /// The activity level at which the SNN's synaptic power equals the
+    /// dense implementation's MAC power (membrane updates excluded):
+    /// `a* = 1 / (timesteps · ACC_ENERGY_FRACTION)`, capped at 1.
+    #[must_use]
+    pub fn break_even_activity(&self) -> f64 {
+        (1.0 / (f64::from(self.config.timesteps) * ACC_ENERGY_FRACTION)).min(1.0)
+    }
+}
+
+impl fmt::Display for SnnNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} synapses, {} neurons, activity {:.0}%, {} steps/inference",
+            self.name,
+            self.synapses,
+            self.neurons,
+            self.config.activity * 100.0,
+            self.config.timesteps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelFamily;
+
+    fn mlp_snn(activity: f64, timesteps: u32) -> SnnNetwork {
+        let arch = ModelFamily::Mlp.architecture(1024).unwrap();
+        SnnNetwork::from_architecture(
+            &arch,
+            SnnConfig {
+                activity,
+                timesteps,
+                inference_rate: crate::models::APPLICATION_RATE,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn conversion_counts_synapses_and_neurons() {
+        let arch = ModelFamily::Mlp.architecture(1024).unwrap();
+        let snn = mlp_snn(0.1, 8);
+        assert_eq!(snn.synapses(), arch.weights());
+        let neurons: u64 = arch.layers().iter().map(|l| l.output_values()).sum();
+        assert_eq!(snn.neurons(), neurons);
+    }
+
+    #[test]
+    fn power_is_linear_in_activity() {
+        let node = TechnologyNode::NANGATE_45NM;
+        let sparse = mlp_snn(0.05, 8);
+        let dense = mlp_snn(0.20, 8);
+        let p_syn = |snn: &SnnNetwork| {
+            snn.power_lower_bound(node).watts()
+                - mlp_snn(1e-12, 8).power_lower_bound(node).watts().min(0.0)
+        };
+        // Subtract the activity-independent update power before comparing.
+        let update = |snn: &SnnNetwork| {
+            snn.updates_per_second()
+                * (node.mac_power() * node.mac_latency()).joules()
+                * UPDATE_ENERGY_FRACTION
+        };
+        let s = p_syn(&sparse) - update(&sparse);
+        let d = p_syn(&dense) - update(&dense);
+        assert!((d / s - 4.0).abs() < 1e-9, "ratio {}", d / s);
+    }
+
+    #[test]
+    fn sparse_snn_beats_dense_mac_implementation() {
+        // At 10 % activity and 8 timesteps, synaptic ops cost
+        // 0.1 × 8 × 0.2 = 0.16 of the dense MAC energy.
+        let node = TechnologyNode::NANGATE_45NM;
+        let snn = mlp_snn(0.1, 8);
+        assert!(snn.power_lower_bound(node) < snn.dense_equivalent_power(node));
+    }
+
+    #[test]
+    fn busy_snn_loses_to_dense_mac_implementation() {
+        // Above the break-even activity the event-driven advantage
+        // disappears (0.8 × 8 × 0.2 = 1.28 > 1).
+        let node = TechnologyNode::NANGATE_45NM;
+        let snn = mlp_snn(0.8, 8);
+        assert!(snn.power_lower_bound(node) > snn.dense_equivalent_power(node));
+    }
+
+    #[test]
+    fn break_even_matches_closed_form() {
+        let snn = mlp_snn(0.1, 8);
+        assert!((snn.break_even_activity() - 1.0 / (8.0 * 0.2)).abs() < 1e-12);
+        let node = TechnologyNode::NANGATE_45NM;
+        // Just below break-even the synaptic part is cheaper; verify by
+        // comparing the two sides of the inequality directly.
+        let a = snn.break_even_activity() * 0.99;
+        let below = mlp_snn(a, 8);
+        let mac_energy = (node.mac_power() * node.mac_latency()).joules();
+        let synaptic = below.synaptic_ops_per_second() * mac_energy * ACC_ENERGY_FRACTION;
+        let dense = below.dense_equivalent_power(node).watts();
+        assert!(synaptic < dense);
+    }
+
+    #[test]
+    fn more_timesteps_cost_more_power() {
+        let node = TechnologyNode::ADVANCED_12NM;
+        assert!(mlp_snn(0.1, 16).power_lower_bound(node) > mlp_snn(0.1, 4).power_lower_bound(node));
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let arch = ModelFamily::Mlp.architecture(128).unwrap();
+        let bad_activity = SnnConfig {
+            activity: 0.0,
+            ..SnnConfig::sparse()
+        };
+        assert!(SnnNetwork::from_architecture(&arch, bad_activity).is_err());
+        let bad_steps = SnnConfig {
+            timesteps: 0,
+            ..SnnConfig::sparse()
+        };
+        assert!(SnnNetwork::from_architecture(&arch, bad_steps).is_err());
+        let over = SnnConfig {
+            activity: 1.5,
+            ..SnnConfig::sparse()
+        };
+        assert!(SnnNetwork::from_architecture(&arch, over).is_err());
+    }
+
+    #[test]
+    fn display_reports_the_conversion() {
+        let snn = mlp_snn(0.1, 8);
+        let text = snn.to_string();
+        assert!(text.contains("SNN(MLP@1024)"));
+        assert!(text.contains("8 steps"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the DNN workload substrate.
+
+use mindful_dnn::arch::{Architecture, LayerSpec};
+use mindful_dnn::infer::Network;
+use mindful_dnn::models::{ModelFamily, BASE_CHANNELS, OUTPUT_LABELS};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn architectures_are_well_formed_at_any_scale(
+        n in BASE_CHANNELS..16_384_u64,
+        family in prop::sample::select(vec![ModelFamily::Mlp, ModelFamily::DnCnn]),
+    ) {
+        let arch = family.architecture(n).unwrap();
+        prop_assert_eq!(arch.output_values(), OUTPUT_LABELS);
+        prop_assert!(arch.macs() > 0);
+        prop_assert!(arch.weights() > 0);
+        // The workload decomposition must cover at least the weight MACs
+        // (pooling adds a few weight-free accumulations).
+        let workload = arch.workload().unwrap();
+        prop_assert!(workload.total_macs() >= arch.weights());
+        prop_assert_eq!(workload.final_outputs(), OUTPUT_LABELS);
+    }
+
+    #[test]
+    fn macs_are_monotone_in_channels(
+        n in BASE_CHANNELS..8192_u64,
+        extra in 1_u64..4096,
+        family in prop::sample::select(vec![ModelFamily::Mlp, ModelFamily::DnCnn]),
+    ) {
+        let small = family.architecture(n).unwrap().macs();
+        let big = family.architecture(n + extra).unwrap().macs();
+        prop_assert!(big >= small, "{family}: {big} < {small}");
+    }
+
+    #[test]
+    fn macs_grow_superlinearly(
+        n in BASE_CHANNELS..4096_u64,
+        family in prop::sample::select(vec![ModelFamily::Mlp, ModelFamily::DnCnn]),
+    ) {
+        // Doubling channels must more than double MACs (the curse of
+        // dimensionality, Section 2.3).
+        let m1 = family.architecture(n).unwrap().macs() as f64;
+        let m2 = family.architecture(2 * n).unwrap().macs() as f64;
+        prop_assert!(m2 / m1 > 2.0, "{family}@{n}: ratio {}", m2 / m1);
+    }
+
+    #[test]
+    fn prefix_weights_never_exceed_total(
+        n in BASE_CHANNELS..4096_u64,
+        keep_frac in 0.1_f64..1.0,
+        family in prop::sample::select(vec![ModelFamily::Mlp, ModelFamily::DnCnn]),
+    ) {
+        let arch = family.architecture(n).unwrap();
+        let keep = ((arch.len() as f64 * keep_frac).ceil() as usize).clamp(1, arch.len());
+        let prefix = arch.prefix(keep).unwrap();
+        prop_assert!(prefix.weights() <= arch.weights());
+        prop_assert!(prefix.macs() <= arch.macs());
+        prop_assert_eq!(prefix.input_values(), arch.input_values());
+    }
+
+    #[test]
+    fn dense_chain_construction_validates(
+        widths in prop::collection::vec(1_u64..64, 2..6),
+    ) {
+        let layers: Vec<LayerSpec> = widths
+            .windows(2)
+            .map(|w| LayerSpec::Dense {
+                inputs: w[0],
+                outputs: w[1],
+            })
+            .collect();
+        let arch = Architecture::new("chain", layers).unwrap();
+        prop_assert_eq!(arch.input_values(), widths[0]);
+        prop_assert_eq!(arch.output_values(), *widths.last().unwrap());
+    }
+
+}
+
+proptest! {
+    // Weight materialization dominates these cases; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn inference_outputs_are_finite(
+        seed in 0_u64..1000,
+        scale in 0.0_f64..2.0,
+    ) {
+        let arch = ModelFamily::Mlp.architecture(BASE_CHANNELS).unwrap();
+        let net = Network::with_seeded_weights(arch, seed);
+        let input: Vec<f32> = (0..BASE_CHANNELS as usize)
+            .map(|i| (i as f32).sin() * scale as f32)
+            .collect();
+        let out = net.forward(&input).unwrap();
+        prop_assert_eq!(out.len() as u64, OUTPUT_LABELS);
+        prop_assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn relu_prefix_is_nonnegative(seed in 0_u64..200, keep in 1_usize..4) {
+        let arch = ModelFamily::Mlp.architecture(BASE_CHANNELS).unwrap();
+        let net = Network::with_seeded_weights(arch, seed);
+        let input: Vec<f32> = (0..128).map(|i| (i as f32 * 0.01) - 0.5).collect();
+        let mid = net.forward_prefix(&input, keep).unwrap();
+        prop_assert!(mid.iter().all(|&v| v >= 0.0 && v.is_finite()));
+    }
+}

@@ -1,0 +1,267 @@
+//! Extension: sensitivity of the headline results to the documented
+//! modelling assumptions (`DESIGN.md` §3).
+//!
+//! The reproduction makes three load-bearing assumptions the paper's
+//! artifact configures per SoC: the sensing power/area split at the
+//! 1024-channel anchor, the OOK energy per bit, and the per-MAC power.
+//! This study perturbs each one and re-measures the two most-quoted
+//! outputs — the Fig. 10 MLP crossover average and the Fig. 7 channel
+//! multiple at 20 % QAM efficiency — to show which conclusions are
+//! robust and which numbers move.
+
+use std::path::Path;
+
+use mindful_accel::tech::TechnologyNode;
+use mindful_core::regimes::SplitDesign;
+use mindful_core::scaling::scale_to_standard;
+use mindful_core::soc::{wireless_socs, SensingFractions, SocSpec};
+use mindful_core::units::{Energy, Power, TimeSpan};
+use mindful_dnn::integration::{max_channels, IntegrationConfig};
+use mindful_dnn::models::ModelFamily;
+use mindful_plot::{AsciiTable, Csv};
+use mindful_rf::efficiency::max_channels_at_efficiency;
+use mindful_rf::linkbudget::LinkBudget;
+
+use crate::error::Result;
+use crate::output::Artifacts;
+
+/// One ablation case: a label and its two re-measured outputs.
+#[derive(Debug, Clone)]
+pub struct AblationCase {
+    /// Human-readable description of the perturbation.
+    pub label: String,
+    /// Fig. 10-style MLP crossover average (channels) across feasible
+    /// SoCs.
+    pub mlp_avg_max: f64,
+    /// Fig. 7-style average channel multiple at 20 % QAM efficiency.
+    pub qam20_multiple: f64,
+}
+
+/// The generated ablation table; the first case is the baseline.
+#[derive(Debug, Clone)]
+pub struct Ablations {
+    /// All evaluated cases.
+    pub cases: Vec<AblationCase>,
+}
+
+/// Rebuilds the eight wireless anchors with a multiplier on the sensing
+/// power fraction (clamped to `[0.05, 0.95]`).
+fn anchors_with_sensing_scale(power_scale: f64) -> Result<Vec<SplitDesign>> {
+    let mut anchors = Vec::new();
+    for spec in wireless_socs() {
+        let f = spec.sensing_fractions();
+        let adjusted =
+            SensingFractions::new((f.power() * power_scale).clamp(0.05, 0.95), f.area())?;
+        let spec = SocSpec::builder(spec.name())
+            .id(spec.id())
+            .technology(spec.technology())
+            .channels(spec.channels())
+            .area(spec.area())
+            .power_density(spec.power_density())
+            .sampling(spec.sampling())
+            .wireless(spec.is_wireless())
+            .validated_in_vivo(spec.is_validated_in_vivo())
+            .sample_bits(spec.sample_bits())
+            .sensing_fractions(adjusted)
+            .build()?;
+        anchors.push(SplitDesign::from_scaled(scale_to_standard(&spec)?));
+    }
+    Ok(anchors)
+}
+
+fn measure(anchors: &[SplitDesign], config: &IntegrationConfig) -> Result<(f64, f64)> {
+    let mut mlp_max = Vec::new();
+    let link = LinkBudget::paper_nominal();
+    let mut qam20 = Vec::new();
+    for anchor in anchors {
+        if let Some(n) = max_channels(anchor, ModelFamily::Mlp, config, 64, 1 << 15)? {
+            mlp_max.push(n as f64);
+        }
+        if let Some(n) = max_channels_at_efficiency(anchor, 0.2, &link, 64, 1 << 16)? {
+            qam20.push(n as f64 / 1024.0);
+        }
+    }
+    let avg = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    Ok((avg(&mlp_max), avg(&qam20)))
+}
+
+/// Runs the ablation grid.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn generate() -> Result<Ablations> {
+    let baseline_anchors = anchors_with_sensing_scale(1.0)?;
+    let base_cfg = IntegrationConfig::paper_45nm();
+    let mut cases = Vec::new();
+
+    let (m, q) = measure(&baseline_anchors, &base_cfg)?;
+    cases.push(AblationCase {
+        label: "baseline".to_owned(),
+        mlp_avg_max: m,
+        qam20_multiple: q,
+    });
+
+    for (label, scale) in [("sensing power -25%", 0.75), ("sensing power +25%", 1.25)] {
+        let anchors = anchors_with_sensing_scale(scale)?;
+        let (m, q) = measure(&anchors, &base_cfg)?;
+        cases.push(AblationCase {
+            label: label.to_owned(),
+            mlp_avg_max: m,
+            qam20_multiple: q,
+        });
+    }
+
+    for (label, pj) in [("OOK Eb 25 pJ/bit", 25.0), ("OOK Eb 100 pJ/bit", 100.0)] {
+        let cfg = IntegrationConfig {
+            energy_per_bit: Energy::from_picojoules(pj),
+            ..base_cfg
+        };
+        let (m, q) = measure(&baseline_anchors, &cfg)?;
+        cases.push(AblationCase {
+            label: label.to_owned(),
+            mlp_avg_max: m,
+            qam20_multiple: q,
+        });
+    }
+
+    for (label, mw) in [("MAC power -50%", 0.025), ("MAC power +50%", 0.075)] {
+        let node = TechnologyNode::custom(
+            "ablate",
+            45.0,
+            TimeSpan::from_nanoseconds(2.0),
+            Power::from_milliwatts(mw),
+        )?;
+        let cfg = IntegrationConfig { node, ..base_cfg };
+        let (m, q) = measure(&baseline_anchors, &cfg)?;
+        cases.push(AblationCase {
+            label: label.to_owned(),
+            mlp_avg_max: m,
+            qam20_multiple: q,
+        });
+    }
+
+    Ok(Ablations { cases })
+}
+
+/// Writes the ablation table and summary.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn render(study: &Ablations, dir: &Path) -> Result<Artifacts> {
+    let mut artifacts = Artifacts::new();
+    let mut ascii = AsciiTable::new(&["Case", "MLP avg max (ch)", "QAM @20% multiple"]);
+    let mut csv = Csv::new(&["case", "mlp_avg_max", "qam20_multiple"]);
+    for case in &study.cases {
+        let cells = [
+            case.label.clone(),
+            format!("{:.0}", case.mlp_avg_max),
+            format!("{:.2}", case.qam20_multiple),
+        ];
+        ascii.push(&cells);
+        csv.push(&cells);
+    }
+    artifacts.report("Extension: sensitivity of headline results to modelling assumptions\n");
+    artifacts.report(ascii.to_string());
+    let base = &study.cases[0];
+    let worst_mlp = study.cases[1..]
+        .iter()
+        .map(|c| (c.mlp_avg_max / base.mlp_avg_max - 1.0).abs())
+        .fold(0.0_f64, f64::max);
+    artifacts.report(format!(
+        "largest MLP-crossover shift across ablations: {:.0}% — the qualitative \
+         conclusions (crossover near 2x the standard; QAM outscaling on-implant \
+         DNNs) hold in every case",
+        worst_mlp * 100.0
+    ));
+    artifacts.write_file(dir, "ablations.csv", csv.as_str())?;
+    Ok(artifacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_cases_with_baseline_first() {
+        let study = generate().unwrap();
+        assert_eq!(study.cases.len(), 7);
+        assert_eq!(study.cases[0].label, "baseline");
+        assert!(study.cases[0].mlp_avg_max > 1024.0);
+    }
+
+    #[test]
+    fn qualitative_conclusions_survive_every_ablation() {
+        let study = generate().unwrap();
+        for case in &study.cases {
+            // The MLP crossover stays in the "around twice the standard"
+            // band, never reaching 4x.
+            assert!(
+                (1024.0..4096.0).contains(&case.mlp_avg_max),
+                "{}: {}",
+                case.label,
+                case.mlp_avg_max
+            );
+            // QAM at 20% always outscales the on-implant MLP.
+            assert!(
+                case.qam20_multiple * 1024.0 > case.mlp_avg_max,
+                "{}",
+                case.label
+            );
+        }
+    }
+
+    #[test]
+    fn sensing_power_moves_the_crossover_in_the_right_direction() {
+        let study = generate().unwrap();
+        let base = study.cases[0].mlp_avg_max;
+        let less = study
+            .cases
+            .iter()
+            .find(|c| c.label.contains("-25%"))
+            .unwrap()
+            .mlp_avg_max;
+        let more = study
+            .cases
+            .iter()
+            .find(|c| c.label.contains("power +25%"))
+            .unwrap()
+            .mlp_avg_max;
+        assert!(less >= base, "less sensing power leaves more headroom");
+        assert!(more <= base, "more sensing power leaves less headroom");
+    }
+
+    #[test]
+    fn mac_power_moves_the_crossover_in_the_right_direction() {
+        let study = generate().unwrap();
+        let cheap = study
+            .cases
+            .iter()
+            .find(|c| c.label.contains("MAC power -50%"))
+            .unwrap()
+            .mlp_avg_max;
+        let dear = study
+            .cases
+            .iter()
+            .find(|c| c.label.contains("MAC power +50%"))
+            .unwrap()
+            .mlp_avg_max;
+        assert!(cheap > dear);
+    }
+
+    #[test]
+    fn render_writes_the_table() {
+        let dir = std::env::temp_dir().join("mindful-ablation-test");
+        let artifacts = render(&generate().unwrap(), &dir).unwrap();
+        assert_eq!(artifacts.files().len(), 1);
+        assert!(artifacts.report_text().contains("sensitivity"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates every table and figure of the MINDFUL paper.
+
+fn main() {
+    let mut failed = false;
+    let everything = mindful_experiments::ALL_EXPERIMENTS
+        .into_iter()
+        .chain(mindful_experiments::ALL_EXTENSIONS);
+    for name in everything {
+        println!("==== {name} ====");
+        match mindful_experiments::run_by_name(name) {
+            Ok(artifacts) => artifacts.print(),
+            Err(e) => {
+                eprintln!("error in {name}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

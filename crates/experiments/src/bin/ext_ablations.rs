@@ -1,0 +1,11 @@
+//! Runs the `ext_ablations` extension study.
+
+fn main() {
+    match mindful_experiments::run_by_name("ext_ablations") {
+        Ok(artifacts) => artifacts.print(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Runs the `ext_wpt` extension study.
+
+fn main() {
+    match mindful_experiments::run_by_name("ext_wpt") {
+        Ok(artifacts) => artifacts.print(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

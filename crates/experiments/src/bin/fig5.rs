@@ -1,0 +1,11 @@
+//! Regenerates fig5 of the MINDFUL paper.
+
+fn main() {
+    match mindful_experiments::run_by_name("fig5") {
+        Ok(artifacts) => artifacts.print(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

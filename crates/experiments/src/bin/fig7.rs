@@ -1,0 +1,11 @@
+//! Regenerates fig7 of the MINDFUL paper.
+
+fn main() {
+    match mindful_experiments::run_by_name("fig7") {
+        Ok(artifacts) => artifacts.print(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

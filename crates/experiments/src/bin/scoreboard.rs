@@ -1,0 +1,11 @@
+//! Prints the live reproduction scoreboard (paper vs measured).
+
+fn main() {
+    match mindful_experiments::run_by_name("scoreboard") {
+        Ok(artifacts) => artifacts.print(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

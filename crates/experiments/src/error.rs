@@ -1,0 +1,97 @@
+//! Error type for the experiment harness.
+
+use core::fmt;
+
+/// Errors produced while generating experiments.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExperimentError {
+    /// An analytical-framework error.
+    Core(mindful_core::CoreError),
+    /// An RF-model error.
+    Rf(mindful_rf::RfError),
+    /// An accelerator-model error.
+    Accel(mindful_accel::AccelError),
+    /// A DNN-workload error.
+    Dnn(mindful_dnn::DnnError),
+    /// A signal-substrate error.
+    Signal(mindful_signal::SignalError),
+    /// A decoder error.
+    Decode(mindful_decode::DecodeError),
+    /// A thermal-model error.
+    Thermal(mindful_thermal::ThermalError),
+    /// A filesystem error while writing artifacts.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Core(e) => write!(f, "{e}"),
+            Self::Rf(e) => write!(f, "{e}"),
+            Self::Accel(e) => write!(f, "{e}"),
+            Self::Dnn(e) => write!(f, "{e}"),
+            Self::Signal(e) => write!(f, "{e}"),
+            Self::Decode(e) => write!(f, "{e}"),
+            Self::Thermal(e) => write!(f, "{e}"),
+            Self::Io(e) => write!(f, "failed to write artifacts: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Core(e) => Some(e),
+            Self::Rf(e) => Some(e),
+            Self::Accel(e) => Some(e),
+            Self::Dnn(e) => Some(e),
+            Self::Signal(e) => Some(e),
+            Self::Decode(e) => Some(e),
+            Self::Thermal(e) => Some(e),
+            Self::Io(e) => Some(e),
+        }
+    }
+}
+
+macro_rules! from_error {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for ExperimentError {
+            fn from(e: $ty) -> Self {
+                Self::$variant(e)
+            }
+        }
+    };
+}
+
+from_error!(Core, mindful_core::CoreError);
+from_error!(Rf, mindful_rf::RfError);
+from_error!(Accel, mindful_accel::AccelError);
+from_error!(Dnn, mindful_dnn::DnnError);
+from_error!(Signal, mindful_signal::SignalError);
+from_error!(Decode, mindful_decode::DecodeError);
+from_error!(Thermal, mindful_thermal::ThermalError);
+from_error!(Io, std::io::Error);
+
+/// Convenience alias for results in this crate.
+pub type Result<T, E = ExperimentError> = core::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: ExperimentError = mindful_core::CoreError::ZeroChannels.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(!e.to_string().is_empty());
+        let e: ExperimentError = std::io::Error::other("disk full").into();
+        assert!(e.to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<ExperimentError>();
+    }
+}

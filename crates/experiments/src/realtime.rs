@@ -1,0 +1,198 @@
+//! Extension: application-level real-time analysis (Section 8).
+//!
+//! The paper notes that "real-time performance must be evaluated at the
+//! application level rather than only by data rate or sampling
+//! frequency". This study computes the end-to-end latency of one
+//! decoded output on each SoC — input window + on-implant inference +
+//! wireless transmission — and compares it against the ~0.18 s brain
+//! reaction time used as the real-time bar by MasterMind-style systems.
+
+use std::path::Path;
+
+use mindful_accel::alloc::best_allocation;
+use mindful_core::regimes::standard_split_designs;
+use mindful_core::throughput::sensing_throughput;
+use mindful_core::units::TimeSpan;
+use mindful_dnn::integration::IntegrationConfig;
+use mindful_dnn::models::{ModelFamily, APPLICATION_RATE, CNN_WINDOW, OUTPUT_LABELS};
+use mindful_plot::{AsciiTable, Csv};
+
+use crate::error::Result;
+use crate::output::Artifacts;
+
+/// The brain's reaction time — the end-to-end real-time bar (~180 ms).
+pub const BRAIN_REACTION_TIME: TimeSpan = TimeSpan::from_milliseconds(180.0);
+
+/// End-to-end latency breakdown for one SoC × model deployment.
+#[derive(Debug, Clone)]
+pub struct LatencyBreakdown {
+    /// Table 1 id.
+    pub id: u8,
+    /// SoC display name.
+    pub name: String,
+    /// Model family.
+    pub family: ModelFamily,
+    /// Time to accumulate the model's input window.
+    pub window: TimeSpan,
+    /// On-implant inference latency (best MAC allocation).
+    pub inference: TimeSpan,
+    /// Wireless transmission time of the output packet at the SoC's raw
+    /// link rate.
+    pub transmission: TimeSpan,
+}
+
+impl LatencyBreakdown {
+    /// Total end-to-end latency.
+    #[must_use]
+    pub fn total(&self) -> TimeSpan {
+        self.window + self.inference + self.transmission
+    }
+
+    /// Whether the deployment meets the brain-reaction-time bar.
+    #[must_use]
+    pub fn meets_reaction_time(&self) -> bool {
+        self.total() <= BRAIN_REACTION_TIME
+    }
+}
+
+/// The generated study.
+#[derive(Debug, Clone)]
+pub struct Realtime {
+    /// One row per SoC × model that admits a real-time MAC allocation.
+    pub rows: Vec<LatencyBreakdown>,
+}
+
+/// Computes latency breakdowns for SoCs 1–8 at 1024 channels.
+///
+/// # Errors
+///
+/// Propagates evaluation errors other than per-deployment real-time
+/// infeasibility (those SoCs are skipped, mirroring Fig. 10).
+pub fn generate() -> Result<Realtime> {
+    let config = IntegrationConfig::paper_45nm();
+    let mut rows = Vec::new();
+    for design in standard_split_designs() {
+        let spec = design.scaled().spec();
+        for family in ModelFamily::ALL {
+            let arch = family.architecture(1024)?;
+            let Ok(allocation) = best_allocation(&arch.workload()?, config.node, family.deadline())
+            else {
+                continue;
+            };
+            // Input window: the samples one inference consumes.
+            let window_samples = match family {
+                ModelFamily::Mlp => 1,
+                ModelFamily::DnCnn => CNN_WINDOW,
+            };
+            let window = APPLICATION_RATE.period() * window_samples as f64;
+            // Output packet: 40 labels at the SoC's raw OOK link rate.
+            let rate = sensing_throughput(1024, spec.sample_bits(), spec.sampling());
+            let packet_bits = OUTPUT_LABELS as f64 * f64::from(spec.sample_bits());
+            let transmission = TimeSpan::from_seconds(packet_bits / rate.bits_per_second());
+            rows.push(LatencyBreakdown {
+                id: spec.id(),
+                name: design.scaled().name().to_owned(),
+                family,
+                window,
+                inference: allocation.latency(),
+                transmission,
+            });
+        }
+    }
+    Ok(Realtime { rows })
+}
+
+/// Writes the latency table and summary.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn render(study: &Realtime, dir: &Path) -> Result<Artifacts> {
+    let mut artifacts = Artifacts::new();
+    let mut ascii = AsciiTable::new(&[
+        "SoC",
+        "Model",
+        "Window (us)",
+        "Inference (us)",
+        "TX (us)",
+        "Total (us)",
+        "Real-time",
+    ]);
+    let mut csv = Csv::new(&[
+        "soc",
+        "model",
+        "window_us",
+        "inference_us",
+        "tx_us",
+        "total_us",
+        "meets_reaction_time",
+    ]);
+    for row in &study.rows {
+        let cells = [
+            format!("{} ({})", row.id, row.name),
+            row.family.to_string(),
+            format!("{:.1}", row.window.microseconds()),
+            format!("{:.1}", row.inference.microseconds()),
+            format!("{:.2}", row.transmission.microseconds()),
+            format!("{:.1}", row.total().microseconds()),
+            row.meets_reaction_time().to_string(),
+        ];
+        ascii.push(&cells);
+        csv.push(&cells);
+    }
+    artifacts
+        .report("Extension: end-to-end latency at 1024 channels vs the 180 ms reaction time\n");
+    artifacts.report(ascii.to_string());
+    let all_ok = study.rows.iter().all(LatencyBreakdown::meets_reaction_time);
+    artifacts.report(format!(
+        "all deployments within the brain reaction time: {all_ok}\n\
+         (the binding constraint for implants is power, not application latency)"
+    ));
+    artifacts.write_file(dir, "realtime.csv", csv.as_str())?;
+    Ok(artifacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_deployment_is_far_under_the_reaction_time() {
+        // The per-sample deadline (500 us) is ~360x tighter than the
+        // reaction-time bar, so anything that decodes in real time also
+        // reacts in time — the paper's point that power, not latency,
+        // binds.
+        let study = generate().unwrap();
+        assert!(!study.rows.is_empty());
+        for row in &study.rows {
+            assert!(row.meets_reaction_time(), "{} {}", row.name, row.family);
+            assert!(row.total() < BRAIN_REACTION_TIME * 0.05);
+        }
+    }
+
+    #[test]
+    fn inference_meets_the_per_sample_deadline() {
+        let study = generate().unwrap();
+        for row in &study.rows {
+            assert!(row.inference <= row.family.deadline());
+        }
+    }
+
+    #[test]
+    fn transmission_is_the_smallest_component() {
+        let study = generate().unwrap();
+        for row in &study.rows {
+            assert!(row.transmission < row.window);
+            assert!(row.transmission < row.inference);
+        }
+    }
+
+    #[test]
+    fn render_writes_the_table() {
+        let dir = std::env::temp_dir().join("mindful-realtime-test");
+        let artifacts = render(&generate().unwrap(), &dir).unwrap();
+        assert_eq!(artifacts.files().len(), 1);
+        assert!(artifacts.report_text().contains("reaction time"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

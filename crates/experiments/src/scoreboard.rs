@@ -1,0 +1,285 @@
+//! The reproduction scoreboard: every paper-quoted number next to the
+//! value this repository measures, computed live.
+
+use std::path::Path;
+
+use mindful_dnn::models::ModelFamily;
+use mindful_plot::{AsciiTable, Csv};
+
+use crate::error::Result;
+use crate::output::Artifacts;
+use crate::{fig10, fig11, fig12, fig4, fig5, fig6, fig7, fig9};
+
+/// One scoreboard row: a claim, the paper's value, ours.
+#[derive(Debug, Clone)]
+pub struct ScoreRow {
+    /// Which figure/table the claim comes from.
+    pub source: &'static str,
+    /// The claim, in words.
+    pub claim: &'static str,
+    /// The paper's reported value.
+    pub paper: String,
+    /// The value measured by this repository.
+    pub measured: String,
+    /// Whether the measured value preserves the paper's conclusion.
+    pub holds: bool,
+}
+
+/// The generated scoreboard.
+#[derive(Debug, Clone)]
+pub struct Scoreboard {
+    /// All rows, in paper order.
+    pub rows: Vec<ScoreRow>,
+}
+
+impl Scoreboard {
+    /// Fraction of claims that hold.
+    #[must_use]
+    pub fn pass_rate(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().filter(|r| r.holds).count() as f64 / self.rows.len() as f64
+    }
+}
+
+/// Recomputes every scoreboard entry from the experiment generators.
+///
+/// # Errors
+///
+/// Propagates generator errors.
+pub fn generate() -> Result<Scoreboard> {
+    let mut rows = Vec::new();
+
+    // Fig. 4.
+    let f4 = fig4::generate();
+    let all_safe = f4.points.iter().all(|p| p.is_safe());
+    rows.push(ScoreRow {
+        source: "Fig. 4",
+        claim: "all designs scaled to 1024 ch fall below the power budget",
+        paper: "yes".into(),
+        measured: if all_safe { "yes" } else { "no" }.into(),
+        holds: all_safe,
+    });
+
+    // Fig. 5.
+    let f5 = fig5::generate()?;
+    let naive_flat = f5.naive.iter().all(|s| {
+        let u0 = s.projections[0].budget_utilization();
+        s.projections
+            .iter()
+            .all(|p| (p.budget_utilization() - u0).abs() < 1e-9)
+    });
+    rows.push(ScoreRow {
+        source: "Fig. 5",
+        claim: "naive design keeps P_soc/P_budget constant",
+        paper: "yes".into(),
+        measured: if naive_flat { "yes" } else { "no" }.into(),
+        holds: naive_flat,
+    });
+    let over = f5
+        .high_margin
+        .iter()
+        .filter(|s| {
+            s.projections
+                .last()
+                .is_some_and(|p| p.budget_utilization() > 1.0)
+        })
+        .count();
+    rows.push(ScoreRow {
+        source: "Fig. 5",
+        claim: "high-margin designs exceed the budget at scale",
+        paper: "all".into(),
+        measured: format!("{over}/8 by 8192 ch"),
+        holds: over >= 7,
+    });
+
+    // Fig. 6.
+    let f6 = fig6::generate()?;
+    let grows = f6
+        .high_margin
+        .iter()
+        .all(|c| c.points.last().unwrap().1 > c.points[0].1);
+    rows.push(ScoreRow {
+        source: "Fig. 6",
+        claim: "only high-margin designs improve volumetric efficiency",
+        paper: "yes".into(),
+        measured: if grows { "yes" } else { "no" }.into(),
+        holds: grows,
+    });
+
+    // Fig. 7.
+    let f7 = fig7::generate()?;
+    let at20 = f7.average_multiple_at_20();
+    let at100 = f7.average_multiple_at_100();
+    rows.push(ScoreRow {
+        source: "Fig. 7",
+        claim: "channel multiple at 20% QAM efficiency",
+        paper: "~2x".into(),
+        measured: format!("{at20:.2}x"),
+        holds: (1.2..=4.0).contains(&at20),
+    });
+    rows.push(ScoreRow {
+        source: "Fig. 7",
+        claim: "channel multiple at 100% QAM efficiency",
+        paper: "~4x".into(),
+        measured: format!("{at100:.2}x"),
+        holds: (2.0..=8.0).contains(&at100) && at100 > at20,
+    });
+
+    // Fig. 9.
+    let f9 = fig9::generate();
+    let small = f9.designs[..5].iter().map(|d| d.pe_share()).sum::<f64>() / 5.0;
+    let large = f9.designs[11].pe_share();
+    rows.push(ScoreRow {
+        source: "Fig. 9",
+        claim: "PE share of accelerator power, small -> large designs",
+        paper: "~25% -> ~96%".into(),
+        measured: format!("{:.0}% -> {:.0}%", small * 100.0, large * 100.0),
+        holds: small < 0.35 && large > 0.90,
+    });
+
+    // Fig. 10.
+    let f10 = fig10::generate()?;
+    let mlp_avg = f10.average_max(ModelFamily::Mlp);
+    let cnn_avg = f10.average_max(ModelFamily::DnCnn);
+    rows.push(ScoreRow {
+        source: "Fig. 10",
+        claim: "average max channels with a full on-implant MLP",
+        paper: "~1800".into(),
+        measured: format!("{mlp_avg:.0}"),
+        holds: (1400.0..2400.0).contains(&mlp_avg),
+    });
+    rows.push(ScoreRow {
+        source: "Fig. 10",
+        claim: "average max channels with a full on-implant DN-CNN",
+        paper: "~1400".into(),
+        measured: format!("{cnn_avg:.0}"),
+        holds: (1100.0..1800.0).contains(&cnn_avg) && cnn_avg < mlp_avg,
+    });
+    let worst = f10
+        .dn_cnn
+        .iter()
+        .filter(|c| c.id == 4 || c.id == 5)
+        .map(|c| c.points[0].1)
+        .fold(0.0_f64, f64::max);
+    rows.push(ScoreRow {
+        source: "Fig. 10",
+        claim: "SoCs 4-5 exceed the budget with the DN-CNN at 1024 ch",
+        paper: "~5x".into(),
+        measured: format!("up to {worst:.1}x"),
+        holds: worst > 3.0,
+    });
+
+    // Fig. 11.
+    let f11 = fig11::generate()?;
+    let mlp_gain = f11.average_gain(ModelFamily::Mlp);
+    let mlp_best = f11.best_gain(ModelFamily::Mlp);
+    let cnn_gain = f11.average_gain(ModelFamily::DnCnn);
+    rows.push(ScoreRow {
+        source: "Fig. 11",
+        claim: "MLP partitioning gain (average / best)",
+        paper: "~1.2 / 1.4".into(),
+        measured: format!("{mlp_gain:.2} / {mlp_best:.2}"),
+        holds: mlp_gain > 1.05 && mlp_best > 1.15,
+    });
+    rows.push(ScoreRow {
+        source: "Fig. 11",
+        claim: "DN-CNN partitioning gain",
+        paper: "~none".into(),
+        measured: format!("{cnn_gain:.2}"),
+        holds: cnn_gain < 1.15 && cnn_gain < mlp_gain,
+    });
+
+    // Fig. 12.
+    let f12 = fig12::generate()?;
+    use fig12::OptimizationStack as Os;
+    let chdr: Vec<f64> = fig12::SWEEP
+        .iter()
+        .map(|&n| f12.average_size(Os::ChDr, n) * 100.0)
+        .collect();
+    rows.push(ScoreRow {
+        source: "Fig. 12",
+        claim: "ChDr model size at 2048/4096/8192 ch",
+        paper: "32% / 6% / 2%".into(),
+        measured: format!("{:.0}% / {:.0}% / {:.0}%", chdr[0], chdr[1], chdr[2]),
+        holds: chdr[0] > chdr[1] && chdr[1] > chdr[2],
+    });
+    let tech_4096 = f12.average_size(Os::LaChDrTech, 4096);
+    let la_4096 = f12.average_size(Os::LaChDr, 4096);
+    let dense_4096 = f12.average_size(Os::LaChDrTechDense, 4096);
+    rows.push(ScoreRow {
+        source: "Fig. 12",
+        claim: "Tech is the largest lever; Dense lowers the budget",
+        paper: "yes".into(),
+        measured: format!(
+            "Tech {:.0}% vs La {:.0}%; Dense {:.0}%",
+            tech_4096 * 100.0,
+            la_4096 * 100.0,
+            dense_4096 * 100.0
+        ),
+        holds: tech_4096 > la_4096 && dense_4096 < tech_4096,
+    });
+
+    Ok(Scoreboard { rows })
+}
+
+/// Writes the scoreboard table.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn render(board: &Scoreboard, dir: &Path) -> Result<Artifacts> {
+    let mut artifacts = Artifacts::new();
+    let mut ascii = AsciiTable::new(&["Source", "Claim", "Paper", "Measured", "Holds"]);
+    let mut csv = Csv::new(&["source", "claim", "paper", "measured", "holds"]);
+    for row in &board.rows {
+        let cells = [
+            row.source.to_owned(),
+            row.claim.to_owned(),
+            row.paper.clone(),
+            row.measured.clone(),
+            if row.holds { "yes" } else { "NO" }.to_owned(),
+        ];
+        ascii.push(&cells);
+        csv.push(&cells);
+    }
+    artifacts.report("Reproduction scoreboard (computed live)\n");
+    artifacts.report(ascii.to_string());
+    artifacts.report(format!(
+        "claims preserved: {}/{} ({:.0}%)",
+        board.rows.iter().filter(|r| r.holds).count(),
+        board.rows.len(),
+        board.pass_rate() * 100.0
+    ));
+    artifacts.write_file(dir, "scoreboard.csv", csv.as_str())?;
+    Ok(artifacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_claim_holds() {
+        let board = generate().unwrap();
+        assert!(board.rows.len() >= 12);
+        for row in &board.rows {
+            assert!(
+                row.holds,
+                "{} — {}: paper {}, measured {}",
+                row.source, row.claim, row.paper, row.measured
+            );
+        }
+        assert!((board.pass_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_writes_the_csv() {
+        let dir = std::env::temp_dir().join("mindful-scoreboard-test");
+        let artifacts = render(&generate().unwrap(), &dir).unwrap();
+        assert_eq!(artifacts.files().len(), 1);
+        assert!(artifacts.report_text().contains("claims preserved"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,116 @@
+//! Error types for the RF substrate.
+
+use core::fmt;
+
+/// Errors produced by the RF link models and modem.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RfError {
+    /// A QAM scheme was requested with an unsupported bits-per-symbol.
+    InvalidBitsPerSymbol {
+        /// The offending value.
+        bits: u8,
+    },
+    /// A target BER outside the meaningful `(0, 0.5)` range.
+    InvalidBer {
+        /// The offending value.
+        ber: f64,
+    },
+    /// A transmitter efficiency outside `(0, 1]`.
+    InvalidEfficiency {
+        /// The offending value.
+        eta: f64,
+    },
+    /// A generic parameter failed validation.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The requested operating point cannot be met even by an ideal
+    /// (100 %-efficient) implementation.
+    LinkInfeasible {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A packet failed integrity checks during depacketization.
+    CorruptPacket {
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// An error bubbled up from the core framework.
+    Core(mindful_core::CoreError),
+}
+
+impl fmt::Display for RfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidBitsPerSymbol { bits } => {
+                write!(f, "bits per symbol must be in 1..=20, got {bits}")
+            }
+            Self::InvalidBer { ber } => {
+                write!(f, "target BER must lie in (0, 0.5), got {ber}")
+            }
+            Self::InvalidEfficiency { eta } => {
+                write!(f, "transmitter efficiency must lie in (0, 1], got {eta}")
+            }
+            Self::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` is invalid: {value}")
+            }
+            Self::LinkInfeasible { reason } => write!(f, "link infeasible: {reason}"),
+            Self::CorruptPacket { reason } => write!(f, "corrupt packet: {reason}"),
+            Self::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mindful_core::CoreError> for RfError {
+    fn from(e: mindful_core::CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T, E = RfError> = core::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(RfError::InvalidBitsPerSymbol { bits: 0 }
+            .to_string()
+            .contains('0'));
+        assert!(RfError::InvalidEfficiency { eta: 2.0 }
+            .to_string()
+            .contains("(0, 1]"));
+        assert!(RfError::CorruptPacket { reason: "bad crc" }
+            .to_string()
+            .contains("bad crc"));
+    }
+
+    #[test]
+    fn core_errors_convert_and_chain() {
+        let core = mindful_core::CoreError::ZeroChannels;
+        let rf: RfError = core.clone().into();
+        assert_eq!(rf.to_string(), core.to_string());
+        assert!(std::error::Error::source(&rf).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<RfError>();
+    }
+}

@@ -1,0 +1,316 @@
+//! RF link budget through biological tissue (Section 5.2).
+//!
+//! The transmit energy per bit needed to close the implant-to-wearable
+//! link at a target BER is
+//!
+//! ```text
+//! E_b = (Eb/N0)_req(modulation, BER) · N0 · PL · margin / η
+//! ```
+//!
+//! where `N0 = k_B · T` is the receiver thermal-noise density, `PL` is
+//! the path loss through skull and tissue, `margin` covers fading and
+//! implementation impairments, and `η` is the end-to-end transmitter
+//! efficiency (the paper's *QAM efficiency*; realistic biomedical
+//! implementations reach ~15 %).
+
+use core::fmt;
+
+use mindful_core::units::{DataRate, Energy, Power};
+
+use crate::error::{Result, RfError};
+use crate::modulation::Modulation;
+use crate::qfunc::from_db;
+
+/// Boltzmann constant in J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Body temperature in kelvin, used for the receiver noise floor.
+pub const BODY_TEMPERATURE_K: f64 = 310.0;
+
+/// The paper's nominal QAM link parameters: BER 1e-6, 60 dB path loss,
+/// 20 dB margin (Section 5.2 Evaluation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkBudget {
+    target_ber: f64,
+    path_loss_db: f64,
+    margin_db: f64,
+    noise_temperature_k: f64,
+}
+
+impl LinkBudget {
+    /// Creates a link budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RfError::InvalidBer`] for targets outside `(0, 0.5)` and
+    /// [`RfError::InvalidParameter`] for negative losses/margins or a
+    /// non-positive noise temperature.
+    pub fn new(target_ber: f64, path_loss_db: f64, margin_db: f64) -> Result<Self> {
+        if !(target_ber > 0.0 && target_ber < 0.5) {
+            return Err(RfError::InvalidBer { ber: target_ber });
+        }
+        if !(path_loss_db >= 0.0 && path_loss_db.is_finite()) {
+            return Err(RfError::InvalidParameter {
+                name: "path loss (dB)",
+                value: path_loss_db,
+            });
+        }
+        if !(margin_db >= 0.0 && margin_db.is_finite()) {
+            return Err(RfError::InvalidParameter {
+                name: "margin (dB)",
+                value: margin_db,
+            });
+        }
+        Ok(Self {
+            target_ber,
+            path_loss_db,
+            margin_db,
+            noise_temperature_k: BODY_TEMPERATURE_K,
+        })
+    }
+
+    /// The paper's nominal parameters: BER = 1e-6, path loss = 60 dB,
+    /// margin = 20 dB.
+    #[must_use]
+    pub fn paper_nominal() -> Self {
+        Self::new(1e-6, 60.0, 20.0).expect("nominal parameters are valid")
+    }
+
+    /// Overrides the receiver noise temperature (default: 310 K).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RfError::InvalidParameter`] for a non-positive value.
+    pub fn with_noise_temperature(mut self, kelvin: f64) -> Result<Self> {
+        if !(kelvin > 0.0 && kelvin.is_finite()) {
+            return Err(RfError::InvalidParameter {
+                name: "noise temperature (K)",
+                value: kelvin,
+            });
+        }
+        self.noise_temperature_k = kelvin;
+        Ok(self)
+    }
+
+    /// Target bit error rate.
+    #[must_use]
+    pub fn target_ber(&self) -> f64 {
+        self.target_ber
+    }
+
+    /// Path loss in dB.
+    #[must_use]
+    pub fn path_loss_db(&self) -> f64 {
+        self.path_loss_db
+    }
+
+    /// Link margin in dB.
+    #[must_use]
+    pub fn margin_db(&self) -> f64 {
+        self.margin_db
+    }
+
+    /// Receiver thermal-noise density `N0 = k_B · T` in J (per Hz).
+    #[must_use]
+    pub fn noise_density(&self) -> Energy {
+        Energy::from_joules(BOLTZMANN * self.noise_temperature_k)
+    }
+
+    /// The transmit energy per bit needed to close the link with the
+    /// given modulation at transmitter efficiency `eta` (`0 < η ≤ 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RfError::InvalidEfficiency`] for `η` outside `(0, 1]`
+    /// and propagates solver errors from the BER inversion.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mindful_rf::linkbudget::LinkBudget;
+    /// use mindful_rf::modulation::Modulation;
+    ///
+    /// let link = LinkBudget::paper_nominal();
+    /// // An ideal OOK transmitter through 80 dB of loss+margin needs
+    /// // ~10 pJ/bit; a realistic 15 %-efficient one needs ~65 pJ/bit —
+    /// // matching the tens-of-pJ/bit OOK transmitters in the literature.
+    /// let ideal = link.energy_per_bit(Modulation::Ook, 1.0)?;
+    /// let real = link.energy_per_bit(Modulation::Ook, 0.15)?;
+    /// assert!(ideal.picojoules() > 5.0 && ideal.picojoules() < 15.0);
+    /// assert!(real.picojoules() > 50.0 && real.picojoules() < 80.0);
+    /// # Ok::<(), mindful_rf::RfError>(())
+    /// ```
+    pub fn energy_per_bit(&self, modulation: Modulation, eta: f64) -> Result<Energy> {
+        if !(eta > 0.0 && eta <= 1.0) {
+            return Err(RfError::InvalidEfficiency { eta });
+        }
+        let ebn0 = modulation.required_ebn0(self.target_ber)?;
+        let losses = from_db(self.path_loss_db + self.margin_db);
+        Ok(self.noise_density() * (ebn0 * losses / eta))
+    }
+
+    /// The transmit power to sustain `rate` with the given modulation and
+    /// efficiency: `P = T · E_b` (Eq. 9).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LinkBudget::energy_per_bit`].
+    pub fn transmit_power(
+        &self,
+        modulation: Modulation,
+        eta: f64,
+        rate: DataRate,
+    ) -> Result<Power> {
+        Ok(rate * self.energy_per_bit(modulation, eta)?)
+    }
+
+    /// The minimum transmitter efficiency that keeps the transmit power
+    /// at or below `power_cap` for the given modulation and data rate.
+    ///
+    /// Returns a value possibly above 1 — callers decide whether >100 %
+    /// efficiency means "infeasible".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RfError::InvalidParameter`] for a non-positive power
+    /// cap, plus BER-solver errors.
+    pub fn minimum_efficiency(
+        &self,
+        modulation: Modulation,
+        rate: DataRate,
+        power_cap: Power,
+    ) -> Result<f64> {
+        if power_cap.watts() <= 0.0 {
+            return Err(RfError::InvalidParameter {
+                name: "power cap (W)",
+                value: power_cap.watts(),
+            });
+        }
+        // P(η) = T · E_b(η=1) / η  →  η_min = T · E_b(1) / P_cap.
+        let ideal = self.transmit_power(modulation, 1.0, rate)?;
+        Ok(ideal / power_cap)
+    }
+}
+
+impl Default for LinkBudget {
+    fn default() -> Self {
+        Self::paper_nominal()
+    }
+}
+
+impl fmt::Display for LinkBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "link budget: BER {:.0e}, path loss {} dB, margin {} dB, T {} K",
+            self.target_ber, self.path_loss_db, self.margin_db, self.noise_temperature_k
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_density_is_kt() {
+        let link = LinkBudget::paper_nominal();
+        let n0 = link.noise_density().joules();
+        assert!((n0 - 1.380_649e-23 * 310.0).abs() < 1e-30);
+    }
+
+    #[test]
+    fn nominal_parameters_match_paper() {
+        let link = LinkBudget::paper_nominal();
+        assert!((link.target_ber() - 1e-6).abs() < 1e-18);
+        assert!((link.path_loss_db() - 60.0).abs() < 1e-12);
+        assert!((link.margin_db() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_divides_energy() {
+        let link = LinkBudget::paper_nominal();
+        let ideal = link.energy_per_bit(Modulation::Ook, 1.0).unwrap();
+        let real = link.energy_per_bit(Modulation::Ook, 0.2).unwrap();
+        assert!((real.joules() / ideal.joules() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_grows_with_bits_per_symbol() {
+        let link = LinkBudget::paper_nominal();
+        let mut prev = link
+            .energy_per_bit(Modulation::qam(2).unwrap(), 1.0)
+            .unwrap();
+        for k in 3..=10 {
+            let cur = link
+                .energy_per_bit(Modulation::qam(k).unwrap(), 1.0)
+                .unwrap();
+            assert!(cur > prev, "E_b must grow with k (k = {k})");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn transmit_power_matches_eq_nine() {
+        let link = LinkBudget::paper_nominal();
+        let eb = link.energy_per_bit(Modulation::Ook, 0.15).unwrap();
+        let rate = DataRate::from_megabits_per_second(82.0);
+        let p = link.transmit_power(Modulation::Ook, 0.15, rate).unwrap();
+        assert!((p.watts() - rate.bits_per_second() * eb.joules()).abs() < 1e-15);
+        // Sanity: ~65 pJ/bit × 82 Mbps ≈ 5.3 mW.
+        assert!(p.milliwatts() > 3.0 && p.milliwatts() < 8.0, "{p:?}");
+    }
+
+    #[test]
+    fn minimum_efficiency_inverts_transmit_power() {
+        let link = LinkBudget::paper_nominal();
+        let rate = DataRate::from_megabits_per_second(200.0);
+        let modulation = Modulation::qam(3).unwrap();
+        let cap = Power::from_milliwatts(10.0);
+        let eta = link.minimum_efficiency(modulation, rate, cap).unwrap();
+        let p = link.transmit_power(modulation, eta.min(1.0), rate).unwrap();
+        if eta <= 1.0 {
+            assert!((p / cap - 1.0).abs() < 1e-9);
+        } else {
+            assert!(p > cap, "even an ideal transmitter cannot close the link");
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(LinkBudget::new(0.0, 60.0, 20.0).is_err());
+        assert!(LinkBudget::new(1e-6, -1.0, 20.0).is_err());
+        assert!(LinkBudget::new(1e-6, 60.0, f64::NAN).is_err());
+        let link = LinkBudget::paper_nominal();
+        assert!(link.energy_per_bit(Modulation::Ook, 0.0).is_err());
+        assert!(link.energy_per_bit(Modulation::Ook, 1.5).is_err());
+        assert!(link
+            .minimum_efficiency(
+                Modulation::Ook,
+                DataRate::from_megabits_per_second(1.0),
+                Power::ZERO
+            )
+            .is_err());
+        assert!(link.with_noise_temperature(-3.0).is_err());
+    }
+
+    #[test]
+    fn higher_noise_temperature_costs_energy() {
+        let cold = LinkBudget::paper_nominal()
+            .with_noise_temperature(100.0)
+            .unwrap();
+        let hot = LinkBudget::paper_nominal()
+            .with_noise_temperature(400.0)
+            .unwrap();
+        let ec = cold.energy_per_bit(Modulation::Ook, 1.0).unwrap();
+        let eh = hot.energy_per_bit(Modulation::Ook, 1.0).unwrap();
+        assert!((eh.joules() / ec.joules() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_parameters() {
+        let text = LinkBudget::paper_nominal().to_string();
+        assert!(text.contains("60 dB"));
+        assert!(text.contains("20 dB"));
+    }
+}

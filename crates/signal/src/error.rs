@@ -1,0 +1,61 @@
+//! Error types for the neural-signal substrate.
+
+use core::fmt;
+
+/// Errors produced while configuring synthetic neural interfaces.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SignalError {
+    /// A parameter failed validation.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A configuration with zero neurons, channels, or samples.
+    Empty {
+        /// What was empty.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SignalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` is invalid: {value}")
+            }
+            Self::Empty { what } => write!(f, "`{what}` must be nonempty"),
+        }
+    }
+}
+
+impl std::error::Error for SignalError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T, E = SignalError> = core::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(SignalError::Empty { what: "neurons" }
+            .to_string()
+            .contains("neurons"));
+        assert!(SignalError::InvalidParameter {
+            name: "rate",
+            value: -1.0
+        }
+        .to_string()
+        .contains("rate"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<SignalError>();
+    }
+}

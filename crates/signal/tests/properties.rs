@@ -1,0 +1,80 @@
+//! Property-based tests for the neural-signal substrate.
+
+use mindful_signal::adc::Adc;
+use mindful_signal::interface::NeuralInterface;
+use mindful_signal::neuron::{Intent, Neuron, Population};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn adc_codes_fit_bit_width(bits in 1_u8..=16, fs in 0.1_f64..100.0, v in -1e4_f64..1e4) {
+        let adc = Adc::new(bits, fs).unwrap();
+        let code = adc.quantize(v);
+        prop_assert!(u32::from(code) < adc.codes());
+    }
+
+    #[test]
+    fn adc_is_monotone(
+        bits in 2_u8..=14,
+        fs in 0.1_f64..10.0,
+        a in -20.0_f64..20.0,
+        delta in 0.0_f64..20.0,
+    ) {
+        let adc = Adc::new(bits, fs).unwrap();
+        prop_assert!(adc.quantize(a + delta) >= adc.quantize(a));
+    }
+
+    #[test]
+    fn adc_error_bounded_in_range(bits in 2_u8..=14, frac in -1.0_f64..1.0) {
+        let adc = Adc::new(bits, 1.0).unwrap();
+        let v = frac * 0.999;
+        let back = adc.reconstruct(adc.quantize(v));
+        prop_assert!((back - v).abs() <= adc.lsb() / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn neuron_drive_respects_cosine_tuning(
+        preferred in 0.0_f64..core::f64::consts::TAU,
+        baseline in 0.0_f64..0.5,
+        depth in 0.0_f64..0.5,
+    ) {
+        let n = Neuron::new(preferred, baseline, depth, 0.2).unwrap();
+        // Drive along the preferred direction dominates every other angle.
+        let best = n.drive(Intent::new(preferred.cos(), preferred.sin()));
+        for k in 0..12 {
+            let theta = k as f64 * core::f64::consts::TAU / 12.0;
+            let d = n.drive(Intent::new(theta.cos(), theta.sin()));
+            prop_assert!(d <= best + 1e-12);
+            prop_assert!(d >= 0.0);
+        }
+    }
+
+    #[test]
+    fn population_step_is_reproducible(seed in 0_u64..10_000, count in 1_usize..100) {
+        let mut a = Population::new(count, seed).unwrap();
+        let mut b = Population::new(count, seed).unwrap();
+        for _ in 0..5 {
+            prop_assert_eq!(a.step(Intent::new(0.1, 0.2)), b.step(Intent::new(0.1, 0.2)));
+        }
+    }
+}
+
+proptest! {
+    // Interface construction is comparatively heavy; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn interface_frames_are_well_formed(
+        grid in 1_usize..12,
+        neurons in 1_usize..200,
+        bits in 4_u8..=12,
+        seed in 0_u64..1000,
+    ) {
+        let mut ni = NeuralInterface::new(grid, neurons, bits, seed).unwrap();
+        let frame = ni.sample(Intent::new(0.4, -0.4)).unwrap();
+        prop_assert_eq!(frame.samples.len(), grid * grid);
+        prop_assert_eq!(frame.spikes.len(), neurons);
+        let limit = 1_u32 << bits;
+        prop_assert!(frame.samples.iter().all(|&c| u32::from(c) < limit));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the thermal substrate.
+
+use mindful_core::units::PowerDensity;
+use mindful_thermal::{FluxSplit, ImplantThermalModel, TissueProperties};
+use proptest::prelude::*;
+
+fn tissue(k: f64, perfusion: f64) -> TissueProperties {
+    TissueProperties {
+        conductivity: k,
+        blood_density: 1050.0,
+        blood_specific_heat: 3600.0,
+        perfusion,
+    }
+}
+
+proptest! {
+    #[test]
+    fn rise_is_linear_in_flux(
+        mw_cm2 in 0.1_f64..200.0,
+        scale in 1.1_f64..10.0,
+        k in 0.1_f64..2.0,
+        w in 1e-4_f64..0.05,
+    ) {
+        let model = ImplantThermalModel::new(tissue(k, w), FluxSplit::CortexOnly).unwrap();
+        let d1 = model.surface_temperature_rise(
+            PowerDensity::from_milliwatts_per_square_centimeter(mw_cm2),
+        );
+        let d2 = model.surface_temperature_rise(
+            PowerDensity::from_milliwatts_per_square_centimeter(mw_cm2 * scale),
+        );
+        prop_assert!((d2 / d1 - scale).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_perfusion_means_cooler_tissue(
+        mw_cm2 in 1.0_f64..100.0,
+        w_low in 1e-4_f64..0.01,
+        mult in 1.5_f64..20.0,
+    ) {
+        let cold = ImplantThermalModel::new(tissue(0.52, w_low * mult), FluxSplit::CortexOnly)
+            .unwrap();
+        let hot = ImplantThermalModel::new(tissue(0.52, w_low), FluxSplit::CortexOnly).unwrap();
+        let d = PowerDensity::from_milliwatts_per_square_centimeter(mw_cm2);
+        prop_assert!(cold.surface_temperature_rise(d) < hot.surface_temperature_rise(d));
+    }
+
+    #[test]
+    fn rise_decays_monotonically_with_depth(
+        mw_cm2 in 1.0_f64..100.0,
+        d1 in 0.0_f64..0.02,
+        extra in 1e-5_f64..0.02,
+    ) {
+        let model =
+            ImplantThermalModel::new(TissueProperties::gray_matter(), FluxSplit::CortexOnly)
+                .unwrap();
+        let d = PowerDensity::from_milliwatts_per_square_centimeter(mw_cm2);
+        prop_assert!(
+            model.temperature_rise_at_depth(d, d1 + extra)
+                <= model.temperature_rise_at_depth(d, d1) + 1e-12
+        );
+    }
+
+    #[test]
+    fn safe_density_inverts_rise(max_rise in 0.1_f64..5.0, w in 1e-4_f64..0.05) {
+        let model = ImplantThermalModel::new(tissue(0.52, w), FluxSplit::DualSided).unwrap();
+        let limit = model.safe_power_density(max_rise);
+        let back = model.surface_temperature_rise(limit);
+        prop_assert!((back - max_rise).abs() < 1e-9 * max_rise.max(1.0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn finite_difference_tracks_closed_form(
+        mw_cm2 in 1.0_f64..100.0,
+        k in 0.2_f64..1.5,
+        w in 1e-3_f64..0.05,
+    ) {
+        let model = ImplantThermalModel::new(tissue(k, w), FluxSplit::CortexOnly).unwrap();
+        let d = PowerDensity::from_milliwatts_per_square_centimeter(mw_cm2);
+        let depth = 12.0 * model.tissue().penetration_depth();
+        let profile = model.solve_profile(d, depth, 3000).unwrap();
+        let analytic = model.surface_temperature_rise(d);
+        prop_assert!(
+            ((profile[0] - analytic) / analytic).abs() < 0.02,
+            "FD {} vs analytic {analytic}",
+            profile[0]
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Shared helpers for the MINDFUL examples.
+//!
+//! The runnable binaries live next to this file; this small library holds
+//! formatting utilities they share so each example stays focused on the
+//! workflow it demonstrates.
+
+/// Prints a section header to stdout.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a power quantity at milliwatt scale with a fixed width.
+#[must_use]
+pub fn mw(p: mindful_core::units::Power) -> String {
+    format!("{:8.3} mW", p.milliwatts())
+}
+
+/// Formats a ratio as a percentage.
+#[must_use]
+pub fn percent(x: f64) -> String {
+    format!("{:5.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mindful_core::units::Power;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(mw(Power::from_milliwatts(4.096)), "   4.096 mW");
+        assert_eq!(percent(0.675), " 67.5%");
+    }
+}

@@ -1,0 +1,94 @@
+//! Quickstart: evaluate a custom implantable BCI SoC design through the
+//! whole MINDFUL framework.
+//!
+//! ```text
+//! cargo run -p mindful-examples --bin quickstart
+//! ```
+//!
+//! Walks a hypothetical 512-channel micro-ECoG implant through the
+//! framework: safety check, scaling to the 1024-channel standard,
+//! beyond-1024 projection, raw-streaming link cost, on-implant DNN
+//! feasibility, and the implied tissue heating.
+
+use mindful_core::prelude::*;
+use mindful_dnn::prelude::*;
+use mindful_examples::{mw, percent, section};
+use mindful_rf::prelude::*;
+use mindful_thermal::prelude::*;
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    section("1. Describe your design");
+    let my_soc = SocSpec::builder("MyImplant")
+        .technology(NiTechnology::Electrodes)
+        .channels(512)
+        .area(Area::from_square_millimeters(36.0))
+        .power_density(PowerDensity::from_milliwatts_per_square_centimeter(18.0))
+        .sampling(Frequency::from_kilohertz(10.0))
+        .wireless(true)
+        .build()?;
+    println!("{my_soc}");
+    println!(
+        "total power {} against a budget of {}",
+        mw(my_soc.total_power()),
+        mw(power_budget(my_soc.area())),
+    );
+    check_safety(my_soc.total_power(), my_soc.area())?;
+    println!("the design is safe at its published operating point");
+
+    section("2. Scale to the 1024-channel standard (Eq. 1)");
+    let scaled = scale_to_standard(&my_soc)?;
+    println!("{scaled}");
+
+    section("3. Project beyond 1024 channels (Section 5.1)");
+    let anchor = SplitDesign::from_scaled(scaled);
+    for n in [2048_u64, 4096, 8192] {
+        let naive = anchor.project(ScalingRegime::Naive, n)?;
+        let margin = anchor.project(ScalingRegime::HighMargin, n)?;
+        println!(
+            "{n:>5} ch: naive {} of budget, high-margin {} of budget",
+            percent(naive.budget_utilization()),
+            percent(margin.budget_utilization()),
+        );
+    }
+    if let Some(cross) = anchor.high_margin_crossover() {
+        println!("high-margin design exceeds the budget at ~{cross} channels");
+    }
+
+    section("4. What does raw streaming cost? (Eq. 9)");
+    let rate = sensing_throughput(1024, my_soc.sample_bits(), my_soc.sampling());
+    let tx = OokTransmitter::customized_for(1024, my_soc.sample_bits(), my_soc.sampling())?;
+    println!(
+        "raw rate {:.1} Mbps -> OOK transmit power {}",
+        rate.megabits_per_second(),
+        mw(tx.power_at(rate)?),
+    );
+    let link = LinkBudget::paper_nominal();
+    let qam = qam_operating_point(&anchor, 4096, &link)?;
+    println!(
+        "streaming 4096 channels needs {}-QAM at >= {} efficiency",
+        1_u32 << qam.bits_per_symbol(),
+        percent(qam.min_efficiency()),
+    );
+
+    section("5. Can it run the MLP decoder on-implant? (Fig. 10)");
+    let config = IntegrationConfig::paper_45nm();
+    for n in [1024_u64, 2048] {
+        match evaluate_full(&anchor, ModelFamily::Mlp, n, &config) {
+            Ok(point) => println!("{point}"),
+            Err(e) => println!("{n} ch: {e}"),
+        }
+    }
+    if let Some(max) = max_channels(&anchor, ModelFamily::Mlp, &config, 64, 1 << 14)? {
+        println!("largest feasible channel count with the full MLP: {max}");
+    }
+
+    section("6. Thermal sanity check (Section 3.2)");
+    let thermal = ImplantThermalModel::new(TissueProperties::gray_matter(), FluxSplit::DualSided)?;
+    let dt = thermal.surface_temperature_rise(my_soc.power_density());
+    println!(
+        "at {:.1} mW/cm^2 the cortex under the implant warms ~{dt:.2} C \
+         (limit: 1-2 C)",
+        my_soc.power_density().milliwatts_per_square_centimeter(),
+    );
+    Ok(())
+}

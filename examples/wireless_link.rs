@@ -1,0 +1,72 @@
+//! Wireless-link laboratory: validate the analytic BER models with the
+//! functional modem, then price the implant uplink.
+//!
+//! ```text
+//! cargo run -p mindful-examples --bin wireless_link
+//! ```
+//!
+//! Sweeps Eb/N0 for OOK, QPSK, and 16-QAM, measuring BER by Monte-Carlo
+//! through the bit-level modem and comparing against the closed forms
+//! the Fig. 7 analysis relies on — then converts required Eb/N0 into
+//! transmit energy per bit through the paper's tissue link budget.
+
+use mindful_examples::section;
+use mindful_plot::AsciiTable;
+use mindful_rf::prelude::*;
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    section("1. Monte-Carlo vs. analytic BER over AWGN");
+    let mut table = AsciiTable::new(&["scheme", "Eb/N0 (dB)", "measured BER", "analytic BER"]);
+    let schemes = [Modulation::Ook, Modulation::qam(2)?, Modulation::qam(4)?];
+    for modulation in schemes {
+        for ebn0_db in [4.0_f64, 8.0, 10.0] {
+            let ebn0 = 10.0_f64.powf(ebn0_db / 10.0);
+            let modem = Modem::new(modulation, ebn0)?;
+            let measured = modem.measure_ber(1.0, 600_000, 42)?;
+            let analytic = modulation.ber(ebn0);
+            table.push(&[
+                modulation.to_string(),
+                format!("{ebn0_db:.0}"),
+                format!("{measured:.2e}"),
+                format!("{analytic:.2e}"),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    section("2. Required Eb/N0 at the paper's BER target (1e-6)");
+    let mut table = AsciiTable::new(&["scheme", "required Eb/N0 (dB)"]);
+    for k in [1_u8, 2, 4, 6, 8] {
+        let m = Modulation::qam(k)?;
+        table.push(&[m.to_string(), format!("{:.2}", m.required_ebn0_db(1e-6)?)]);
+    }
+    println!("{table}");
+
+    section("3. Through-tissue link budget (60 dB path loss + 20 dB margin)");
+    let link = LinkBudget::paper_nominal();
+    let mut table = AsciiTable::new(&[
+        "scheme",
+        "E_b ideal (pJ/b)",
+        "E_b @20% (pJ/b)",
+        "P @82 Mbps, 20% (mW)",
+    ]);
+    let rate = mindful_core::units::DataRate::from_megabits_per_second(81.92);
+    for k in [1_u8, 2, 3, 4, 6] {
+        let m = Modulation::qam(k)?;
+        let ideal = link.energy_per_bit(m, 1.0)?;
+        let real = link.energy_per_bit(m, 0.2)?;
+        let power = link.transmit_power(m, 0.2, rate)?;
+        table.push(&[
+            m.to_string(),
+            format!("{:.1}", ideal.picojoules()),
+            format!("{:.1}", real.picojoules()),
+            format!("{:.2}", power.milliwatts()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "the paper's 50 pJ/bit OOK anchor corresponds to a ~15-20% efficient \
+         transmitter through this budget"
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Shared helpers for the MINDFUL integration tests.
+
+use std::path::PathBuf;
+
+/// A unique temporary directory for one test, removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `"$TMPDIR/mindful-it-<name>"`, wiping any previous run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        let path = std::env::temp_dir().join(format!("mindful-it-{name}"));
+        std::fs::remove_dir_all(&path).ok();
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        Self { path }
+    }
+
+    /// The directory path.
+    #[must_use]
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.path).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temp_dir_creates_and_cleans() {
+        let path = {
+            let dir = TempDir::new("selftest");
+            assert!(dir.path().exists());
+            dir.path().to_path_buf()
+        };
+        assert!(!path.exists());
+    }
+}

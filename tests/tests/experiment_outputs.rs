@@ -1,0 +1,108 @@
+//! The experiment harness produces well-formed artifacts for every
+//! table and figure.
+
+use mindful_experiments::output::Artifacts;
+use mindful_integration_tests::TempDir;
+
+fn csv_is_rectangular(text: &str) {
+    let mut lines = text.lines();
+    let header = lines.next().expect("csv has a header");
+    let columns = header.split(',').count();
+    assert!(columns >= 2, "csv has data columns: {header}");
+    for (idx, line) in lines.enumerate() {
+        assert_eq!(
+            line.split(',').count(),
+            columns,
+            "row {idx} of csv is ragged: {line}"
+        );
+    }
+}
+
+fn check_artifacts(artifacts: &Artifacts, min_files: usize) {
+    assert!(artifacts.files().len() >= min_files);
+    assert!(!artifacts.report_text().is_empty());
+    for file in artifacts.files() {
+        let text = std::fs::read_to_string(file).unwrap();
+        assert!(!text.is_empty(), "{}", file.display());
+        match file.extension().and_then(|e| e.to_str()) {
+            Some("csv") => csv_is_rectangular(&text),
+            Some("svg") => {
+                assert!(text.starts_with("<svg"));
+                assert!(text.trim_end().ends_with("</svg>"));
+            }
+            other => panic!("unexpected artifact type {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn table1_artifacts() {
+    let dir = TempDir::new("table1");
+    let table = mindful_experiments::table1::generate();
+    let artifacts = mindful_experiments::table1::render(&table, dir.path()).unwrap();
+    check_artifacts(&artifacts, 1);
+    assert!(artifacts.report_text().contains("Neuralink"));
+}
+
+#[test]
+fn fig4_artifacts() {
+    let dir = TempDir::new("fig4");
+    let fig = mindful_experiments::fig4::generate();
+    let artifacts = mindful_experiments::fig4::render(&fig, dir.path()).unwrap();
+    check_artifacts(&artifacts, 2);
+}
+
+#[test]
+fn fig5_and_fig6_artifacts() {
+    let dir = TempDir::new("fig56");
+    let fig5 = mindful_experiments::fig5::generate().unwrap();
+    check_artifacts(
+        &mindful_experiments::fig5::render(&fig5, dir.path()).unwrap(),
+        3,
+    );
+    let fig6 = mindful_experiments::fig6::generate().unwrap();
+    check_artifacts(
+        &mindful_experiments::fig6::render(&fig6, dir.path()).unwrap(),
+        3,
+    );
+}
+
+#[test]
+fn fig7_artifacts() {
+    let dir = TempDir::new("fig7");
+    let fig = mindful_experiments::fig7::generate().unwrap();
+    let artifacts = mindful_experiments::fig7::render(&fig, dir.path()).unwrap();
+    check_artifacts(&artifacts, 2);
+    assert!(artifacts.report_text().contains("paper: ~2x"));
+}
+
+#[test]
+fn fig9_artifacts() {
+    let dir = TempDir::new("fig9");
+    let fig = mindful_experiments::fig9::generate();
+    let artifacts = mindful_experiments::fig9::render(&fig, dir.path()).unwrap();
+    check_artifacts(&artifacts, 3);
+}
+
+#[test]
+fn fig10_fig11_artifacts() {
+    let dir = TempDir::new("fig1011");
+    let fig10 = mindful_experiments::fig10::generate().unwrap();
+    check_artifacts(
+        &mindful_experiments::fig10::render(&fig10, dir.path()).unwrap(),
+        3,
+    );
+    let fig11 = mindful_experiments::fig11::generate().unwrap();
+    check_artifacts(
+        &mindful_experiments::fig11::render(&fig11, dir.path()).unwrap(),
+        2,
+    );
+}
+
+#[test]
+fn fig12_artifacts() {
+    let dir = TempDir::new("fig12");
+    let fig = mindful_experiments::fig12::generate().unwrap();
+    let artifacts = mindful_experiments::fig12::render(&fig, dir.path()).unwrap();
+    check_artifacts(&artifacts, 9);
+}

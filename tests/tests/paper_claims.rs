@@ -1,0 +1,179 @@
+//! The paper's five headline insights (Section 1), checked against the
+//! reproduced pipeline. Each test cites the claim it verifies.
+
+use mindful_core::prelude::*;
+use mindful_dnn::prelude::*;
+use mindful_rf::prelude::*;
+
+fn anchors() -> Vec<SplitDesign> {
+    mindful_core::regimes::standard_split_designs()
+}
+
+/// Claim 1: "To stream raw neural data at higher rates, scaling
+/// communication components with channel count would either exceed
+/// safety limits or reduce sensing capacity."
+#[test]
+fn claim1_raw_streaming_does_not_scale() {
+    for anchor in anchors() {
+        // High-margin (power-scaled comm): eventually exceeds the budget.
+        let exceeds = anchor
+            .project(ScalingRegime::HighMargin, 1 << 17)
+            .unwrap()
+            .budget_utilization()
+            > 1.0;
+        assert!(exceeds, "{}", anchor.scaled().name());
+        // Naive (area-scaled comm): sensing area fraction never improves,
+        // i.e., sensing capacity per unit area is sacrificed.
+        let f0 = anchor
+            .project(ScalingRegime::Naive, 1024)
+            .unwrap()
+            .sensing_area_fraction();
+        let f1 = anchor
+            .project(ScalingRegime::Naive, 1 << 17)
+            .unwrap()
+            .sensing_area_fraction();
+        assert!((f0 - f1).abs() < 1e-9, "{}", anchor.scaled().name());
+    }
+}
+
+/// Claim 2: "Advanced modulation schemes can help support higher
+/// transmission data rates, but achieving this in practice faces
+/// significant design challenges" — at realistic efficiency the channel
+/// gain is ~2x; even ideal QAM cannot stream at unbounded scale.
+#[test]
+fn claim2_qam_helps_but_is_bounded() {
+    let link = LinkBudget::paper_nominal();
+    for anchor in anchors() {
+        let at_current =
+            max_channels_at_efficiency(&anchor, CURRENT_QAM_EFFICIENCY, &link, 128, 1 << 17)
+                .unwrap();
+        let at_ideal = max_channels_at_efficiency(&anchor, 1.0, &link, 128, 1 << 17).unwrap();
+        if let (Some(current), Some(ideal)) = (at_current, at_ideal) {
+            assert!(ideal >= current);
+            // Even ideal QAM hits a wall well below brain scale.
+            assert!(
+                ideal < 100_000,
+                "{}: ideal QAM must not stream at brain scale ({ideal})",
+                anchor.scaled().name()
+            );
+        }
+    }
+}
+
+/// Claim 3: "Modern computation with DNNs is unlikely to be integrated
+/// into current implanted SoCs without major optimizations" — at twice
+/// the current standard (2048 channels) almost every SoC × model pair
+/// fails, and at four times none survive.
+#[test]
+fn claim3_dnns_do_not_scale_to_4096_unoptimized() {
+    let config = IntegrationConfig::paper_45nm();
+    let mut any_feasible_at_1024 = false;
+    let mut feasible_at_2048 = 0_u32;
+    for anchor in anchors() {
+        for family in ModelFamily::ALL {
+            match evaluate_full(&anchor, family, 2048, &config) {
+                Ok(point) if point.is_feasible() => feasible_at_2048 += 1,
+                Ok(_) | Err(DnnError::Accel(_)) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            match evaluate_full(&anchor, family, 4096, &config) {
+                Ok(point) => assert!(
+                    !point.is_feasible(),
+                    "{} fits {family} at 4096 — contradicts the paper",
+                    anchor.scaled().name()
+                ),
+                Err(DnnError::Accel(_)) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            if let Ok(p) = evaluate_full(&anchor, family, 1024, &config) {
+                any_feasible_at_1024 |= p.is_feasible();
+            }
+        }
+    }
+    assert!(
+        feasible_at_2048 <= 2,
+        "at most a couple of the 16 SoC x model pairs survive 2048 channels:          {feasible_at_2048}"
+    );
+    assert!(
+        any_feasible_at_1024,
+        "some SoC must host a DNN at 1024 channels (SoCs 1-2 in the paper)"
+    );
+}
+
+/// Claim 4: "Partitioning DNNs can help integrate more channels in the
+/// short term", with benefits that vary by computation type.
+#[test]
+fn claim4_partitioning_gives_short_term_gains() {
+    let config = IntegrationConfig::paper_45nm();
+    let mut mlp_gains = Vec::new();
+    let mut cnn_gains = Vec::new();
+    for anchor in anchors() {
+        if let Some(g) = partition_gain(&anchor, ModelFamily::Mlp, &config, 128, 1 << 14).unwrap() {
+            mlp_gains.push(g);
+        }
+        if let Some(g) = partition_gain(&anchor, ModelFamily::DnCnn, &config, 128, 1 << 14).unwrap()
+        {
+            cnn_gains.push(g);
+        }
+    }
+    let mlp_avg = mlp_gains.iter().sum::<f64>() / mlp_gains.len() as f64;
+    let cnn_avg = cnn_gains.iter().sum::<f64>() / cnn_gains.len() as f64;
+    assert!(
+        mlp_avg > 1.05,
+        "MLP partitioning helps on average: {mlp_avg:.2}"
+    );
+    assert!(
+        mlp_avg < 2.0,
+        "but the benefit is short-term, not a fix: {mlp_avg:.2}"
+    );
+    assert!(cnn_avg < mlp_avg, "benefits vary by computation type");
+}
+
+/// Claim 5: "Bridging the gap requires tailoring BCI systems to
+/// application needs" — the combined Section 6.2 optimizations recover
+/// far more feasible model capacity than any single step.
+#[test]
+fn claim5_combined_optimizations_compound() {
+    let anchor = &anchors()[0]; // BISC
+    let channels = 4096;
+    let step = 32;
+    let base = mindful_dnn::integration::max_active_channels(
+        anchor,
+        ModelFamily::Mlp,
+        channels,
+        &IntegrationConfig::paper_45nm(),
+        step,
+    )
+    .unwrap()
+    .unwrap_or(0);
+    let optimized = mindful_dnn::partition::max_active_channels_partitioned(
+        anchor,
+        ModelFamily::Mlp,
+        channels,
+        &IntegrationConfig::paper_12nm(),
+        step,
+    )
+    .unwrap()
+    .unwrap_or(0);
+    assert!(
+        optimized as f64 >= base as f64 * 1.5,
+        "La+Tech on top of ChDr must compound: {base} -> {optimized}"
+    );
+}
+
+/// The scaling context of Section 2.3: DNN compute grows faster than the
+/// data rate it processes (the curse of dimensionality), which is why
+/// computation-centric designs eventually lose to their own models.
+#[test]
+fn dnn_compute_outpaces_data_rate() {
+    for family in ModelFamily::ALL {
+        let macs_1x = family.architecture(1024).unwrap().macs() as f64;
+        let macs_4x = family.architecture(4096).unwrap().macs() as f64;
+        let data_growth = 4.0;
+        assert!(
+            macs_4x / macs_1x > 2.0 * data_growth,
+            "{family}: compute grows {}x for 4x data",
+            macs_4x / macs_1x
+        );
+    }
+}
