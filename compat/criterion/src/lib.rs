@@ -1,0 +1,264 @@
+//! Offline stand-in for the `criterion` crate (the API subset this
+//! workspace uses). See `compat/README.md` for scope.
+//!
+//! Honest but lightweight timing: each benchmark is warmed up, its
+//! per-iteration cost calibrated, then `sample_size` samples are timed
+//! and the median reported on one line:
+//!
+//! ```text
+//! fig5_regime_projections  time: 184.21 µs/iter (10 samples)
+//! ```
+//!
+//! Substring filters from `cargo bench -- <filter>` are honoured.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time per measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Criterion {
+    /// Builds a harness honouring CLI substring filters.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Self { filters }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Runs a single benchmark function.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, id, 10, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the per-iteration workload for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_benchmark(self.criterion, &full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (upstream-compatible no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Per-iteration workload descriptors for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(
+    criterion: &Criterion,
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if !criterion.matches(id) {
+        return;
+    }
+    // Warm-up + calibration: find an iteration count that fills the
+    // per-sample time budget.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= SAMPLE_TARGET || iters >= 1 << 20 {
+            break;
+        }
+        let scale = if b.elapsed.is_zero() {
+            16.0
+        } else {
+            (SAMPLE_TARGET.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(1.2, 16.0)
+        };
+        iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+    }
+
+    let mut per_iter: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+
+    let rate = throughput.map_or(String::new(), |t| match t {
+        Throughput::Bytes(n) => format!(
+            ", {}/s",
+            scaled(n as f64 / median, &["B", "KiB", "MiB", "GiB"], 1024.0)
+        ),
+        Throughput::Elements(n) => {
+            format!(
+                ", {}/s",
+                scaled(
+                    n as f64 / median,
+                    &["elem", "Kelem", "Melem", "Gelem"],
+                    1000.0
+                )
+            )
+        }
+    });
+    println!(
+        "{id}  time: {}/iter ({sample_size} samples of {iters} iters{rate})",
+        scaled(median, &["s", "ms", "µs", "ns"], 1e-3),
+    );
+}
+
+fn scaled(value: f64, units: &[&str], step: f64) -> String {
+    let mut v = value;
+    let mut unit = units[0];
+    for next in &units[1..] {
+        if step > 1.0 && v < step {
+            break;
+        }
+        if step < 1.0 && v >= 1.0 {
+            break;
+        }
+        v /= step;
+        unit = next;
+    }
+    format!("{v:.2} {unit}")
+}
+
+/// Declares a group of benchmark functions, upstream-compatible.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, upstream-compatible.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_something() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke", |b| b.iter(|| (0..100).sum::<u64>()));
+    }
+
+    #[test]
+    fn groups_apply_sample_size_and_throughput() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(128));
+        g.bench_function("inner", |b| b.iter(|| black_box(21) * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn filters_skip_non_matching_ids() {
+        let c = Criterion {
+            filters: vec!["match".into()],
+        };
+        assert!(c.matches("a_match_b"));
+        assert!(!c.matches("other"));
+    }
+}

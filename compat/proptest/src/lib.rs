@@ -1,0 +1,236 @@
+//! Offline stand-in for the `proptest` crate (the API subset this
+//! workspace uses). See `compat/README.md` for scope.
+//!
+//! Differences from upstream worth knowing:
+//!
+//! * Cases are generated from a **deterministic** per-test RNG (seeded
+//!   by an FNV-1a hash of the test function name), so every run of the
+//!   suite sees the same inputs. There is no persistence file.
+//! * Failing cases are reported with their input values but are **not
+//!   shrunk**; rerunning reproduces them exactly.
+//! * `prop_assume!` rejects the case; a test fails if too many cases in
+//!   a row are rejected, like upstream's `max_global_rejects`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespaced strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies (`vec`).
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Sampling strategies (`select`).
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+/// Everything a property-test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if both values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Rejects (skips) the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, …)`
+/// becomes a normal `#[test]` running `ProptestConfig::cases` random
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                    let __case = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    })();
+                    match __case {
+                        ::core::result::Result::Ok(()) => {
+                            accepted += 1;
+                            rejected = 0;
+                        }
+                        ::core::result::Result::Err(e) if e.is_rejection() => {
+                            rejected += 1;
+                            assert!(
+                                rejected < config.max_local_rejects,
+                                "proptest `{}`: too many consecutive rejected cases ({})",
+                                stringify!($name),
+                                rejected,
+                            );
+                        }
+                        ::core::result::Result::Err(e) => {
+                            panic!(
+                                "proptest `{}` failed after {} passing case(s): {}",
+                                stringify!($name),
+                                accepted,
+                                e,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(a in 3_u64..17, b in -2.5_f64..2.5, c in 1_u8..=4) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-2.5..2.5).contains(&b));
+            prop_assert!((1..=4).contains(&c));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (1_u64..10, 0.0_f64..1.0).prop_map(|(n, f)| n as f64 + f),
+        ) {
+            prop_assert!((1.0..11.0).contains(&pair));
+        }
+
+        #[test]
+        fn vec_and_select_strategies(
+            xs in prop::collection::vec(0_u64..100, 2..6),
+            pick in prop::sample::select(vec![10_u32, 20, 30]),
+        ) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 100));
+            prop_assert!([10, 20, 30].contains(&pick));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0_u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_limits_cases(_x in 0_u64..10) {
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn any_covers_bool_and_u8() {
+        let mut rng = crate::test_runner::TestRng::for_test("any_covers");
+        let mut saw_true = false;
+        let mut saw_false = false;
+        for _ in 0..64 {
+            if Strategy::generate(&any::<bool>(), &mut rng) {
+                saw_true = true;
+            } else {
+                saw_false = true;
+            }
+            let _: u8 = Strategy::generate(&any::<u8>(), &mut rng);
+        }
+        assert!(saw_true && saw_false);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let gen = |label: &str| {
+            let mut rng = crate::test_runner::TestRng::for_test(label);
+            (0..16)
+                .map(|_| Strategy::generate(&(0_u64..1_000_000), &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen("alpha"), gen("alpha"));
+        assert_ne!(gen("alpha"), gen("beta"));
+    }
+}

@@ -1,0 +1,141 @@
+//! The case runner's configuration, RNG, and error type.
+
+use core::fmt;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test must run.
+    pub cases: u32,
+    /// Maximum consecutive rejected cases (via `prop_assume!`) before
+    /// the test aborts.
+    pub max_local_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_local_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+    rejection: bool,
+}
+
+impl TestCaseError {
+    /// A genuine assertion failure.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            rejection: false,
+        }
+    }
+
+    /// A rejected case (failed `prop_assume!`); not counted as failure.
+    #[must_use]
+    pub fn reject(assumption: impl Into<String>) -> Self {
+        Self {
+            message: assumption.into(),
+            rejection: true,
+        }
+    }
+
+    /// Whether this is a rejection rather than a failure.
+    #[must_use]
+    pub fn is_rejection(&self) -> bool {
+        self.rejection
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rejection {
+            write!(f, "rejected: {}", self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic case RNG: xoshiro256++ seeded from an FNV-1a hash of
+/// the test name, so each test sees its own reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// The stream for the named test.
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self::seeded(hash)
+    }
+
+    /// A stream from an explicit 64-bit seed (SplitMix64 expansion).
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform index in `[0, bound)`; `bound` must be nonzero.
+    pub fn index(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // 128-bit multiply-shift: unbiased enough for test generation.
+        let wide = u128::from(self.next_u64()) * u128::from(bound);
+        (wide >> 64) as u64
+    }
+}

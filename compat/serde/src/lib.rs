@@ -1,0 +1,11 @@
+//! Offline stand-in for the `serde` crate. The derives are no-ops: they
+//! let `#[cfg_attr(feature = "serde", derive(serde::Serialize))]`
+//! attributes compile without registry access, but generate no trait
+//! impls (nothing in this workspace serializes at runtime). See
+//! `compat/README.md`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde`
+//! stub: they accept the same attribute grammar (by ignoring it) and
+//! emit no code, so `#[cfg_attr(feature = "serde", derive(...))]`
+//! compiles without a registry. See `compat/README.md`.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` request.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` request.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

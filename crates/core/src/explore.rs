@@ -6,6 +6,8 @@
 //! extracting the Pareto frontier over (channels ↑, power ↓, area ↓) —
 //! the trade surface Figs. 5–7 and 10 are slices of.
 
+use std::collections::BTreeMap;
+
 use crate::error::{CoreError, Result};
 use crate::units::{Area, Power};
 
@@ -77,13 +79,111 @@ impl CandidatePoint {
 
 /// Extracts the Pareto frontier (non-dominated points), preserving input
 /// order among survivors.
+///
+/// Runs the `O(n log n)` sort-and-prune skyline below; its output is
+/// exactly [`pareto_frontier_naive`]'s (same survivor set, same order),
+/// which the property suite checks on random inputs.
 #[must_use]
 pub fn pareto_frontier(points: &[CandidatePoint]) -> Vec<CandidatePoint> {
+    let mut survivors = skyline_indices(points);
+    survivors.sort_unstable();
+    survivors.into_iter().map(|i| points[i].clone()).collect()
+}
+
+/// The original `O(n²)` all-pairs frontier, kept as the oracle for
+/// equivalence tests and benchmarks of the skyline implementation.
+#[doc(hidden)]
+#[must_use]
+pub fn pareto_frontier_naive(points: &[CandidatePoint]) -> Vec<CandidatePoint> {
     points
         .iter()
         .filter(|p| !points.iter().any(|q| q.dominates(p)))
         .cloned()
         .collect()
+}
+
+/// `f64` ordered by `total_cmp` so it can key the skyline staircase.
+/// Candidate objectives are validated finite, so the exotic orderings
+/// (NaN, signed zero) never actually occur.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TotalF64(f64);
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+fn same_objectives(a: &CandidatePoint, b: &CandidatePoint) -> bool {
+    a.channels == b.channels
+        && a.power.watts().total_cmp(&b.power.watts()).is_eq()
+        && a.area
+            .square_meters()
+            .total_cmp(&b.area.square_meters())
+            .is_eq()
+}
+
+/// Indices of the non-dominated points, via an `O(n log n)` skyline.
+///
+/// Points are visited in (channels desc, power asc, area asc) order, so
+/// every potential dominator of a point is visited before it. A
+/// staircase maps power to the minimum area seen at or below that
+/// power; a point is dominated iff the staircase already holds an entry
+/// with power ≤ its power and area ≤ its area — except for points with
+/// *identical* objectives, which never dominate each other and are
+/// therefore processed as one group (queried together before the group
+/// is inserted).
+fn skyline_indices(points: &[CandidatePoint]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        let (pa, pb) = (&points[a], &points[b]);
+        pb.channels
+            .cmp(&pa.channels)
+            .then_with(|| pa.power.watts().total_cmp(&pb.power.watts()))
+            .then_with(|| pa.area.square_meters().total_cmp(&pb.area.square_meters()))
+            .then_with(|| a.cmp(&b))
+    });
+    let mut staircase: BTreeMap<TotalF64, f64> = BTreeMap::new();
+    let mut survivors = Vec::new();
+    let mut i = 0;
+    while i < order.len() {
+        let p = &points[order[i]];
+        let mut j = i + 1;
+        while j < order.len() && same_objectives(p, &points[order[j]]) {
+            j += 1;
+        }
+        let power = p.power.watts();
+        let area = p.area.square_meters();
+        let dominated = staircase
+            .range(..=TotalF64(power))
+            .next_back()
+            .is_some_and(|(_, &best)| best <= area);
+        if !dominated {
+            survivors.extend_from_slice(&order[i..j]);
+            // Entries at higher power whose area is no better are now
+            // redundant; the staircase invariant (areas strictly
+            // decrease as power increases) makes them a prefix.
+            let stale: Vec<TotalF64> = staircase
+                .range(TotalF64(power)..)
+                .take_while(|&(_, &a)| a >= area)
+                .map(|(&k, _)| k)
+                .collect();
+            for k in stale {
+                staircase.remove(&k);
+            }
+            staircase.insert(TotalF64(power), area);
+        }
+        i = j;
+    }
+    survivors
 }
 
 /// Filters candidates to those inside the safety power budget, then
@@ -194,6 +294,77 @@ mod tests {
             CandidatePoint::new("x", 1, Power::ZERO, Area::from_square_millimeters(1.0)).is_err()
         );
         assert!(CandidatePoint::new("x", 1, Power::from_milliwatts(1.0), Area::ZERO).is_err());
+    }
+
+    #[test]
+    fn skyline_matches_naive_on_tie_heavy_sets() {
+        // Duplicates, equal-power ties, equal-area ties, and dominance
+        // across equal channel counts — the cases where a skyline can
+        // diverge from the all-pairs oracle if tie handling is wrong.
+        let sets: Vec<Vec<CandidatePoint>> = vec![
+            vec![],
+            vec![
+                point("dup-a", 1024, 10.0, 10.0),
+                point("dup-b", 1024, 10.0, 10.0),
+            ],
+            vec![
+                point("dup-a", 1024, 10.0, 10.0),
+                point("beats-dups", 2048, 10.0, 10.0),
+                point("dup-b", 1024, 10.0, 10.0),
+            ],
+            vec![
+                point("same-power-small", 1024, 10.0, 10.0),
+                point("same-power-large", 1024, 10.0, 11.0),
+            ],
+            vec![
+                point("same-area-cheap", 1024, 9.0, 10.0),
+                point("same-area-costly", 1024, 10.0, 10.0),
+            ],
+            vec![
+                point("a", 4096, 40.0, 100.0),
+                point("b", 2048, 20.0, 120.0),
+                point("c", 2048, 25.0, 110.0),
+                point("d", 1024, 20.0, 120.0),
+                point("e", 1024, 5.0, 130.0),
+                point("f", 4096, 40.0, 100.0),
+            ],
+        ];
+        for set in sets {
+            assert_eq!(
+                pareto_frontier(&set),
+                pareto_frontier_naive(&set),
+                "set: {set:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn skyline_handles_large_dominated_chains() {
+        // A staircase stress case: many points along a power/area curve
+        // plus strictly dominated copies shifted up and to the right.
+        let mut set = Vec::new();
+        for k in 0..200_u64 {
+            let kf = k as f64;
+            set.push(point("front", 1024, 10.0 + kf, 300.0 - kf));
+            set.push(point("dominated", 1024, 11.0 + kf, 301.0 - kf));
+        }
+        let fast = pareto_frontier(&set);
+        let slow = pareto_frontier_naive(&set);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.len(), 200);
+    }
+
+    #[test]
+    fn frontier_is_idempotent() {
+        let set = vec![
+            point("a", 4096, 40.0, 100.0),
+            point("b", 1024, 5.0, 100.0),
+            point("c", 1024, 50.0, 120.0),
+            point("d", 2048, 20.0, 80.0),
+        ];
+        let once = pareto_frontier(&set);
+        let twice = pareto_frontier(&once);
+        assert_eq!(once, twice);
     }
 
     #[test]

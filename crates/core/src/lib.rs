@@ -20,7 +20,9 @@
 //! * [`throughput`] — real-time data-rate requirements (Eqs. 6–8).
 //! * [`dataflow`] — communication- vs. computation-centric pipelines.
 //! * [`geometry`] — channel pitch and neuron-coverage metrics.
-//! * [`explore`] — design-space sweeps and Pareto frontiers.
+//! * [`explore`] — design-space candidates and Pareto frontiers.
+//! * [`sweep`] — the parallel batched sweep engine driving Figs. 5–7
+//!   and 10 and the `explore` experiment.
 //!
 //! ## Quick start
 //!
@@ -52,6 +54,7 @@ pub mod geometry;
 pub mod regimes;
 pub mod scaling;
 pub mod soc;
+pub mod sweep;
 pub mod throughput;
 pub mod units;
 
@@ -66,6 +69,7 @@ pub mod prelude {
     pub use crate::soc::{
         published_socs, soc_by_id, wireless_socs, NiTechnology, SocSpec, STANDARD_CHANNELS,
     };
+    pub use crate::sweep::{sweep_threads, ProjectionCache, SweepGrid, SweepPoint, SweepResult};
     pub use crate::throughput::sensing_throughput;
     pub use crate::units::{Area, DataRate, Energy, Frequency, Power, PowerDensity, TimeSpan};
     pub use crate::{CoreError, Result};

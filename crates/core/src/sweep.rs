@@ -1,0 +1,946 @@
+//! Parallel batched design-space sweep engine.
+//!
+//! The experiments in Figs. 5–7 and 10 are all slices of one product
+//! space: *SoC anchor × scaling regime × channel count × communication
+//! efficiency*. [`SweepGrid`] names that product space once, enumerates
+//! it in a fixed row-major order, and fans evaluation out over scoped
+//! worker threads. Results always come back in grid order regardless of
+//! the worker count, so sweep output (and anything derived from it,
+//! such as CSV artifacts) is byte-for-byte reproducible.
+//!
+//! Three layers are exposed:
+//!
+//! * [`par_map`] — the generic deterministic fan-out primitive: map a
+//!   function over a slice on `n` scoped threads, preserving order.
+//! * [`SweepGrid::map`] / [`SweepGrid::map_with_threads`] — enumerate
+//!   the grid and apply an arbitrary per-cell function (used by the
+//!   RF- and DNN-aware experiment sweeps, which bring their own
+//!   models).
+//! * [`SweepGrid::evaluate`] — the built-in power/area evaluation:
+//!   project every cell under its regime (memoized in a thread-safe
+//!   [`ProjectionCache`]), derate non-sensing power by the cell's
+//!   communication efficiency, and report budget utilization.
+//!
+//! Worker count defaults to the machine's available parallelism and can
+//! be pinned with the `MINDFUL_SWEEP_THREADS` environment variable
+//! (values are clamped to `[1, 256]`; unparsable values fall back to
+//! the default).
+
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::error::{CoreError, Result};
+use crate::explore::{pareto_frontier, CandidatePoint};
+use crate::regimes::{Projection, ScalingRegime, SplitDesign};
+use crate::scaling::scale_to_standard;
+use crate::soc::SocSpec;
+use crate::units::{Area, Power};
+
+/// Environment variable that pins the sweep worker count.
+pub const SWEEP_THREADS_ENV: &str = "MINDFUL_SWEEP_THREADS";
+
+/// Upper bound on the worker count (env values are clamped to it).
+pub const MAX_SWEEP_THREADS: usize = 256;
+
+/// Resolves the worker count for parallel sweeps.
+///
+/// Honors [`SWEEP_THREADS_ENV`] when set to a positive integer
+/// (clamped to [`MAX_SWEEP_THREADS`]); otherwise uses the machine's
+/// available parallelism, falling back to 1 if that cannot be queried.
+#[must_use]
+pub fn sweep_threads() -> NonZeroUsize {
+    if let Ok(raw) = std::env::var(SWEEP_THREADS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if let Some(n) = NonZeroUsize::new(n.min(MAX_SWEEP_THREADS)) {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads,
+/// returning outputs in input order.
+///
+/// The slice is split into contiguous chunks, one per worker; each
+/// worker writes its outputs into the matching slots of the result
+/// vector, so the output order is independent of scheduling. `f`
+/// receives the item's index alongside the item. With one thread (or
+/// one item) no workers are spawned at all.
+pub fn par_map<I, T, F>(items: &[I], threads: NonZeroUsize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let n = items.len();
+    let workers = threads.get().min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        for (ci, (in_chunk, out_chunk)) in
+            items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        {
+            let base = ci * chunk;
+            scope.spawn(move || {
+                for (j, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
+                    *slot = Some(f(base + j, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every grid slot is written by exactly one worker"))
+        .collect()
+}
+
+/// One cell of a [`SweepGrid`], handed to per-cell functions.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepCoord<'g> {
+    /// Position in the grid's row-major enumeration.
+    pub index: usize,
+    /// Position of [`Self::soc`] on the grid's SoC axis.
+    pub soc_index: usize,
+    /// The SoC anchor for this cell.
+    pub soc: &'g SocSpec,
+    /// The scaling regime for this cell.
+    pub regime: ScalingRegime,
+    /// The projected channel count for this cell.
+    pub channels: u64,
+    /// Communication efficiency in `(0, 1]` (1 = the regime's nominal
+    /// transceiver; lower values derate non-sensing power by `1/eff`).
+    pub efficiency: f64,
+}
+
+/// A rectangular design-space sweep: the product of an SoC axis, a
+/// regime axis, a channel axis, and a communication-efficiency axis.
+///
+/// Cells are enumerated row-major with the SoC axis outermost and the
+/// efficiency axis innermost, in the exact order each axis was given to
+/// the builder. The enumeration (and therefore every result vector) is
+/// deterministic and independent of the worker count.
+///
+/// # Examples
+///
+/// ```
+/// use mindful_core::prelude::*;
+/// use mindful_core::sweep::SweepGrid;
+///
+/// let grid = SweepGrid::builder()
+///     .socs(wireless_socs())
+///     .channels([1024, 2048, 4096, 8192])
+///     .build()?;
+/// // 8 SoCs x 2 regimes (default) x 4 channel counts x 1 efficiency.
+/// assert_eq!(grid.len(), 64);
+/// let result = grid.evaluate()?;
+/// assert_eq!(result.len(), 64);
+/// # Ok::<(), mindful_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepGrid {
+    socs: Vec<SocSpec>,
+    regimes: Vec<ScalingRegime>,
+    channels: Vec<u64>,
+    efficiencies: Vec<f64>,
+}
+
+/// Builder for [`SweepGrid`]; construct via [`SweepGrid::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct SweepGridBuilder {
+    socs: Vec<SocSpec>,
+    regimes: Vec<ScalingRegime>,
+    channels: Vec<u64>,
+    efficiencies: Vec<f64>,
+}
+
+impl SweepGridBuilder {
+    /// Sets the SoC axis (required, at least one).
+    #[must_use]
+    pub fn socs(mut self, socs: impl IntoIterator<Item = SocSpec>) -> Self {
+        self.socs = socs.into_iter().collect();
+        self
+    }
+
+    /// Sets the regime axis; defaults to `[Naive, HighMargin]`.
+    #[must_use]
+    pub fn regimes(mut self, regimes: impl IntoIterator<Item = ScalingRegime>) -> Self {
+        self.regimes = regimes.into_iter().collect();
+        self
+    }
+
+    /// Sets the channel axis (required, at least one).
+    #[must_use]
+    pub fn channels(mut self, channels: impl IntoIterator<Item = u64>) -> Self {
+        self.channels = channels.into_iter().collect();
+        self
+    }
+
+    /// Sets the communication-efficiency axis; defaults to `[1.0]`.
+    #[must_use]
+    pub fn efficiencies(mut self, efficiencies: impl IntoIterator<Item = f64>) -> Self {
+        self.efficiencies = efficiencies.into_iter().collect();
+        self
+    }
+
+    /// Validates the axes and builds the grid.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Infeasible`] when the SoC or channel axis is
+    ///   empty.
+    /// * [`CoreError::ZeroChannels`] when the channel axis contains 0.
+    /// * [`CoreError::FractionOutOfRange`] when an efficiency falls
+    ///   outside `(0, 1]`.
+    pub fn build(self) -> Result<SweepGrid> {
+        if self.socs.is_empty() {
+            return Err(CoreError::Infeasible {
+                reason: "sweep grid needs at least one SoC".to_owned(),
+            });
+        }
+        if self.channels.is_empty() {
+            return Err(CoreError::Infeasible {
+                reason: "sweep grid needs at least one channel count".to_owned(),
+            });
+        }
+        if self.channels.contains(&0) {
+            return Err(CoreError::ZeroChannels);
+        }
+        let regimes = if self.regimes.is_empty() {
+            vec![ScalingRegime::Naive, ScalingRegime::HighMargin]
+        } else {
+            self.regimes
+        };
+        let efficiencies = if self.efficiencies.is_empty() {
+            vec![1.0]
+        } else {
+            self.efficiencies
+        };
+        for &eff in &efficiencies {
+            if !(eff > 0.0 && eff <= 1.0) {
+                return Err(CoreError::FractionOutOfRange {
+                    name: "efficiency",
+                    value: eff,
+                });
+            }
+        }
+        Ok(SweepGrid {
+            socs: self.socs,
+            regimes,
+            channels: self.channels,
+            efficiencies,
+        })
+    }
+}
+
+impl SweepGrid {
+    /// Starts a grid builder.
+    #[must_use]
+    pub fn builder() -> SweepGridBuilder {
+        SweepGridBuilder::default()
+    }
+
+    /// The SoC axis.
+    #[must_use]
+    pub fn socs(&self) -> &[SocSpec] {
+        &self.socs
+    }
+
+    /// The regime axis.
+    #[must_use]
+    pub fn regimes(&self) -> &[ScalingRegime] {
+        &self.regimes
+    }
+
+    /// The channel axis.
+    #[must_use]
+    pub fn channels(&self) -> &[u64] {
+        &self.channels
+    }
+
+    /// The communication-efficiency axis.
+    #[must_use]
+    pub fn efficiencies(&self) -> &[f64] {
+        &self.efficiencies
+    }
+
+    /// Number of cells in the grid.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.socs.len() * self.regimes.len() * self.channels.len() * self.efficiencies.len()
+    }
+
+    /// Whether the grid has no cells (impossible for built grids).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cell at row-major position `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= self.len()`.
+    #[must_use]
+    pub fn coord(&self, index: usize) -> SweepCoord<'_> {
+        assert!(index < self.len(), "sweep index {index} out of bounds");
+        let n_eff = self.efficiencies.len();
+        let n_ch = self.channels.len();
+        let n_reg = self.regimes.len();
+        let eff_i = index % n_eff;
+        let ch_i = (index / n_eff) % n_ch;
+        let reg_i = (index / (n_eff * n_ch)) % n_reg;
+        let soc_i = index / (n_eff * n_ch * n_reg);
+        SweepCoord {
+            index,
+            soc_index: soc_i,
+            soc: &self.socs[soc_i],
+            regime: self.regimes[reg_i],
+            channels: self.channels[ch_i],
+            efficiency: self.efficiencies[eff_i],
+        }
+    }
+
+    /// Maps `f` over every cell using the default worker count
+    /// ([`sweep_threads`]), returning results in grid order.
+    pub fn map<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(SweepCoord<'_>) -> T + Sync,
+    {
+        self.map_with_threads(sweep_threads(), f)
+    }
+
+    /// Maps `f` over every cell on up to `threads` workers, returning
+    /// results in grid order regardless of the worker count.
+    pub fn map_with_threads<T, F>(&self, threads: NonZeroUsize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(SweepCoord<'_>) -> T + Sync,
+    {
+        let indices: Vec<usize> = (0..self.len()).collect();
+        par_map(&indices, threads, |_, &i| f(self.coord(i)))
+    }
+
+    /// Evaluates every cell with the built-in power/area model and the
+    /// default worker count.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::evaluate_cached`].
+    pub fn evaluate(&self) -> Result<SweepResult> {
+        self.evaluate_with_threads(sweep_threads())
+    }
+
+    /// Evaluates every cell on up to `threads` workers with a fresh
+    /// projection cache.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::evaluate_cached`].
+    pub fn evaluate_with_threads(&self, threads: NonZeroUsize) -> Result<SweepResult> {
+        self.evaluate_cached(&ProjectionCache::new(), threads)
+    }
+
+    /// Evaluates every cell, memoizing projections in `cache`.
+    ///
+    /// Each SoC is first scaled to the 1024-channel standard and split;
+    /// each cell then projects that split under its regime (through the
+    /// cache, so cells differing only in efficiency share one
+    /// projection) and derates non-sensing power by `1/efficiency`.
+    ///
+    /// A reused cache is only valid across grids whose SoC axes are
+    /// identical, because entries are keyed by SoC axis position.
+    ///
+    /// # Errors
+    ///
+    /// * Scaling errors from [`scale_to_standard`] for any SoC on the
+    ///   axis.
+    /// * [`CoreError::BelowReferenceChannels`] when a channel count
+    ///   falls below a scaled design's reference point.
+    ///
+    /// When several cells fail, the error of the first failing cell in
+    /// grid order is returned, so failures are deterministic too.
+    pub fn evaluate_cached(
+        &self,
+        cache: &ProjectionCache,
+        threads: NonZeroUsize,
+    ) -> Result<SweepResult> {
+        let splits = self.splits()?;
+        let rows = self.map_with_threads(threads, |coord| {
+            let projection = cache.project(
+                coord.soc_index,
+                &splits[coord.soc_index],
+                coord.regime,
+                coord.channels,
+            )?;
+            Ok(SweepPoint::from_projection(&coord, &projection))
+        });
+        let points = rows.into_iter().collect::<Result<Vec<SweepPoint>>>()?;
+        Ok(SweepResult {
+            points,
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+        })
+    }
+
+    /// Projects every cell under its regime with the default worker
+    /// count, returning raw [`Projection`]s in grid order.
+    ///
+    /// Projections do not depend on the efficiency axis, so grids with
+    /// a non-trivial efficiency axis get one (cached) projection per
+    /// `(SoC, regime, channels)` repeated across efficiencies; use
+    /// [`Self::evaluate`] when efficiency should derate power.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::evaluate_cached`].
+    pub fn project(&self) -> Result<Vec<Projection>> {
+        self.project_with_threads(sweep_threads())
+    }
+
+    /// [`Self::project`] with an explicit worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::evaluate_cached`].
+    pub fn project_with_threads(&self, threads: NonZeroUsize) -> Result<Vec<Projection>> {
+        let splits = self.splits()?;
+        let cache = ProjectionCache::new();
+        self.map_with_threads(threads, |coord| {
+            cache.project(
+                coord.soc_index,
+                &splits[coord.soc_index],
+                coord.regime,
+                coord.channels,
+            )
+        })
+        .into_iter()
+        .collect()
+    }
+
+    fn splits(&self) -> Result<Vec<SplitDesign>> {
+        self.socs
+            .iter()
+            .map(|spec| Ok(SplitDesign::from_scaled(scale_to_standard(spec)?)))
+            .collect()
+    }
+}
+
+/// Thread-safe memo table for [`SplitDesign::project`] calls.
+///
+/// Keys are `(SoC axis position, regime, channels)`; concurrent misses
+/// on the same key may both compute the projection, but the result is
+/// identical so the race is benign. Hit/miss counters are approximate
+/// only in that sense — for a serial evaluation they are exact.
+#[derive(Debug, Default)]
+pub struct ProjectionCache {
+    entries: Mutex<HashMap<(usize, ScalingRegime, u64), Projection>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProjectionCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Projects `split` under `regime` at `channels`, memoized under
+    /// `(soc_index, regime, channels)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SplitDesign::project`] errors (never cached).
+    pub fn project(
+        &self,
+        soc_index: usize,
+        split: &SplitDesign,
+        regime: ScalingRegime,
+        channels: u64,
+    ) -> Result<Projection> {
+        let key = (soc_index, regime, channels);
+        if let Some(hit) = self.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(*hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let projection = split.project(regime, channels)?;
+        self.lock().insert(key, projection);
+        Ok(projection)
+    }
+
+    /// Number of memoized projections.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache holds no projections.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Number of lookups served from the memo table.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to compute a projection.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<(usize, ScalingRegime, u64), Projection>> {
+        self.entries
+            .lock()
+            .expect("projection cache lock poisoned: a worker panicked")
+    }
+}
+
+/// One evaluated cell of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Name of the SoC anchor.
+    pub soc: String,
+    /// Table 1 id of the SoC anchor.
+    pub soc_id: u8,
+    /// Scaling regime of the cell.
+    pub regime: ScalingRegime,
+    /// Projected channel count.
+    pub channels: u64,
+    /// Communication efficiency in `(0, 1]`.
+    pub efficiency: f64,
+    /// Efficiency-derated total power.
+    pub power: Power,
+    /// Projected brain-contact area (independent of efficiency).
+    pub area: Area,
+    /// `power / power_budget(area)` (Eq. 3); `> 1` is unsafe.
+    pub budget_utilization: f64,
+    /// Fraction of area devoted to sensing (Eq. 4 indicator).
+    pub sensing_area_fraction: f64,
+}
+
+impl SweepPoint {
+    fn from_projection(coord: &SweepCoord<'_>, projection: &Projection) -> Self {
+        let power =
+            projection.sensing_power() + projection.non_sensing_power() * coord.efficiency.recip();
+        let area = projection.total_area();
+        Self {
+            soc: coord.soc.name().to_owned(),
+            soc_id: coord.soc.id(),
+            regime: coord.regime,
+            channels: coord.channels,
+            efficiency: coord.efficiency,
+            power,
+            area,
+            budget_utilization: power / projection.power_budget(),
+            sensing_area_fraction: projection.sensing_area_fraction(),
+        }
+    }
+
+    /// Whether the point respects the safety power budget.
+    #[must_use]
+    pub fn is_safe(&self) -> bool {
+        self.budget_utilization <= 1.0 + 1e-12
+    }
+
+    /// A human-readable label, e.g. `"BISC @2048 naive eff=0.5"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{} @{} {} eff={}",
+            self.soc, self.channels, self.regime, self.efficiency
+        )
+    }
+
+    /// Converts the point into a Pareto [`CandidatePoint`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CandidatePoint::new`] validation errors (possible
+    /// only for degenerate hand-built specs).
+    pub fn to_candidate(&self) -> Result<CandidatePoint> {
+        CandidatePoint::new(self.label(), self.channels, self.power, self.area)
+    }
+}
+
+/// The outcome of [`SweepGrid::evaluate`]: one [`SweepPoint`] per cell,
+/// in grid order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    points: Vec<SweepPoint>,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl SweepResult {
+    /// The evaluated points, in grid order.
+    #[must_use]
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Consumes the result, yielding the points in grid order.
+    #[must_use]
+    pub fn into_points(self) -> Vec<SweepPoint> {
+        self.points
+    }
+
+    /// Number of evaluated points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the sweep produced no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Projection-cache hits observed during evaluation.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Projection-cache misses observed during evaluation.
+    #[must_use]
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// The points that respect the safety budget, in grid order.
+    #[must_use]
+    pub fn feasible(&self) -> Vec<&SweepPoint> {
+        self.points.iter().filter(|p| p.is_safe()).collect()
+    }
+
+    /// All points as Pareto candidates, in grid order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CandidatePoint::new`] validation errors.
+    pub fn candidates(&self) -> Result<Vec<CandidatePoint>> {
+        self.points.iter().map(SweepPoint::to_candidate).collect()
+    }
+
+    /// The Pareto frontier of the budget-respecting points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CandidatePoint::new`] validation errors.
+    pub fn feasible_frontier(&self) -> Result<Vec<CandidatePoint>> {
+        let safe: Vec<CandidatePoint> = self
+            .points
+            .iter()
+            .filter(|p| p.is_safe())
+            .map(SweepPoint::to_candidate)
+            .collect::<Result<_>>()?;
+        Ok(pareto_frontier(&safe))
+    }
+
+    /// Renders the result as CSV, one row per cell in grid order.
+    ///
+    /// Because the row order is the grid order, the output is identical
+    /// for any worker count.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut csv = String::from(
+            "soc,regime,channels,efficiency,power_mw,area_mm2,budget_utilization,sensing_area_fraction,safe\n",
+        );
+        for p in &self.points {
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                p.soc,
+                p.regime,
+                p.channels,
+                p.efficiency,
+                p.power.milliwatts(),
+                p.area.square_millimeters(),
+                p.budget_utilization,
+                p.sensing_area_fraction,
+                p.is_safe(),
+            ));
+        }
+        csv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soc::{soc_by_id, wireless_socs};
+
+    const ONE: NonZeroUsize = NonZeroUsize::MIN;
+
+    fn threads(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
+    fn toy_grid() -> SweepGrid {
+        SweepGrid::builder()
+            .socs(wireless_socs())
+            .channels([1024, 2048, 4096])
+            .efficiencies([1.0, 0.5, 0.2])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 3).collect();
+        for workers in [1, 2, 3, 8, 64, 200] {
+            let got = par_map(&items, threads(workers), |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(got, expect, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, threads(8), |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7_u32], threads(8), |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn grid_enumeration_is_row_major_and_matches_len() {
+        let grid = toy_grid();
+        assert_eq!(grid.len(), 8 * 2 * 3 * 3);
+        assert!(!grid.is_empty());
+        let mut expected = 0_usize;
+        for (soc_i, soc) in grid.socs().iter().enumerate() {
+            for &regime in grid.regimes() {
+                for &channels in grid.channels() {
+                    for &eff in grid.efficiencies() {
+                        let c = grid.coord(expected);
+                        assert_eq!(c.index, expected);
+                        assert_eq!(c.soc_index, soc_i);
+                        assert_eq!(c.soc.name(), soc.name());
+                        assert_eq!(c.regime, regime);
+                        assert_eq!(c.channels, channels);
+                        assert_eq!(c.efficiency, eff);
+                        expected += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(expected, grid.len());
+    }
+
+    #[test]
+    fn default_axes_are_both_regimes_and_unit_efficiency() {
+        let grid = SweepGrid::builder()
+            .socs([soc_by_id(1).unwrap()])
+            .channels([2048])
+            .build()
+            .unwrap();
+        assert_eq!(
+            grid.regimes(),
+            [ScalingRegime::Naive, ScalingRegime::HighMargin]
+        );
+        assert_eq!(grid.efficiencies(), [1.0]);
+    }
+
+    #[test]
+    fn builder_rejects_bad_axes() {
+        let err = SweepGrid::builder()
+            .channels([1024_u64])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Infeasible { .. }));
+        let err = SweepGrid::builder()
+            .socs([soc_by_id(1).unwrap()])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Infeasible { .. }));
+        let err = SweepGrid::builder()
+            .socs([soc_by_id(1).unwrap()])
+            .channels([1024, 0])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ZeroChannels));
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let err = SweepGrid::builder()
+                .socs([soc_by_id(1).unwrap()])
+                .channels([1024_u64])
+                .efficiencies([bad])
+                .build()
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                CoreError::FractionOutOfRange {
+                    name: "efficiency",
+                    ..
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial_exactly() {
+        let grid = toy_grid();
+        let serial = grid.evaluate_with_threads(ONE).unwrap();
+        for workers in [2, 5, 8] {
+            let parallel = grid.evaluate_with_threads(threads(workers)).unwrap();
+            assert_eq!(serial.points(), parallel.points(), "{workers} workers");
+            assert_eq!(serial.to_csv(), parallel.to_csv(), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn unit_efficiency_matches_direct_projection() {
+        let grid = SweepGrid::builder()
+            .socs([soc_by_id(3).unwrap()])
+            .regimes([ScalingRegime::HighMargin])
+            .channels([4096])
+            .build()
+            .unwrap();
+        let result = grid.evaluate_with_threads(ONE).unwrap();
+        assert_eq!(result.len(), 1);
+        let point = &result.points()[0];
+
+        let split = SplitDesign::from_scaled(scale_to_standard(&soc_by_id(3).unwrap()).unwrap());
+        let projection = split.project(ScalingRegime::HighMargin, 4096).unwrap();
+        assert!((point.power - projection.total_power()).abs().watts() < 1e-15);
+        assert!((point.area - projection.total_area()).abs().square_meters() < 1e-18);
+        assert!((point.budget_utilization - projection.budget_utilization()).abs() < 1e-12);
+        assert!((point.sensing_area_fraction - projection.sensing_area_fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_efficiency_derates_power_but_not_area() {
+        let grid = SweepGrid::builder()
+            .socs([soc_by_id(1).unwrap()])
+            .regimes([ScalingRegime::Naive])
+            .channels([2048])
+            .efficiencies([1.0, 0.5])
+            .build()
+            .unwrap();
+        let result = grid.evaluate_with_threads(ONE).unwrap();
+        let [nominal, derated] = result.points() else {
+            panic!("expected two points");
+        };
+        assert!(derated.power > nominal.power);
+        assert_eq!(derated.area, nominal.area);
+        assert!(derated.budget_utilization > nominal.budget_utilization);
+        // Only non-sensing power is derated: the extra power equals the
+        // non-sensing share at eff=1 (1/0.5 - 1 = 1 extra multiple).
+        let split = SplitDesign::from_scaled(scale_to_standard(&soc_by_id(1).unwrap()).unwrap());
+        let projection = split.project(ScalingRegime::Naive, 2048).unwrap();
+        let expected_extra = projection.non_sensing_power();
+        assert!(
+            ((derated.power - nominal.power) - expected_extra)
+                .abs()
+                .watts()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn projection_cache_memoizes_across_efficiencies() {
+        let grid = toy_grid();
+        let result = grid.evaluate_with_threads(ONE).unwrap();
+        // 3 efficiencies share each (soc, regime, channels) projection.
+        let unique = (grid.len() / grid.efficiencies().len()) as u64;
+        assert_eq!(result.cache_misses(), unique);
+        assert_eq!(result.cache_hits(), grid.len() as u64 - unique);
+    }
+
+    #[test]
+    fn reused_cache_serves_every_projection_the_second_time() {
+        let grid = toy_grid();
+        let cache = ProjectionCache::new();
+        let first = grid.evaluate_cached(&cache, ONE).unwrap();
+        let misses_after_first = cache.misses();
+        let second = grid.evaluate_cached(&cache, ONE).unwrap();
+        assert_eq!(cache.misses(), misses_after_first);
+        assert_eq!(cache.len() as u64, misses_after_first);
+        assert!(!cache.is_empty());
+        assert_eq!(first.points(), second.points());
+    }
+
+    #[test]
+    fn errors_are_deterministic_and_first_in_grid_order() {
+        let grid = SweepGrid::builder()
+            .socs([soc_by_id(1).unwrap()])
+            .regimes([ScalingRegime::Naive])
+            .channels([512, 256])
+            .build()
+            .unwrap();
+        for workers in [1, 4] {
+            let err = grid.evaluate_with_threads(threads(workers)).unwrap_err();
+            assert_eq!(
+                err,
+                CoreError::BelowReferenceChannels {
+                    requested: 512,
+                    reference: 1024
+                },
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn feasible_frontier_is_safe_and_nonempty_for_standard_sweep() {
+        let grid = SweepGrid::builder()
+            .socs(wireless_socs())
+            .channels([1024, 2048, 4096, 8192])
+            .build()
+            .unwrap();
+        let result = grid.evaluate_with_threads(threads(4)).unwrap();
+        let feasible = result.feasible();
+        assert!(!feasible.is_empty());
+        let frontier = result.feasible_frontier().unwrap();
+        assert!(!frontier.is_empty());
+        assert!(frontier.len() <= feasible.len());
+        for point in &frontier {
+            assert!(point.is_safe());
+        }
+        let all = result.candidates().unwrap();
+        assert_eq!(all.len(), result.len());
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_cell() {
+        let grid = SweepGrid::builder()
+            .socs([soc_by_id(1).unwrap()])
+            .channels([1024, 2048])
+            .build()
+            .unwrap();
+        let csv = grid.evaluate_with_threads(ONE).unwrap().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + grid.len());
+        assert!(lines[0].starts_with("soc,regime,channels,efficiency"));
+        assert!(lines[1].contains("naive"));
+    }
+
+    #[test]
+    fn sweep_threads_env_override_and_clamping() {
+        std::env::set_var(SWEEP_THREADS_ENV, "3");
+        assert_eq!(sweep_threads().get(), 3);
+        std::env::set_var(SWEEP_THREADS_ENV, "100000");
+        assert_eq!(sweep_threads().get(), MAX_SWEEP_THREADS);
+        std::env::set_var(SWEEP_THREADS_ENV, "not-a-number");
+        assert!(sweep_threads().get() >= 1);
+        std::env::set_var(SWEEP_THREADS_ENV, "0");
+        assert!(sweep_threads().get() >= 1);
+        std::env::remove_var(SWEEP_THREADS_ENV);
+        assert!(sweep_threads().get() >= 1);
+    }
+}

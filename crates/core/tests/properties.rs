@@ -1,9 +1,13 @@
 //! Property-based tests for the core analytical framework.
 
+use std::num::NonZeroUsize;
+
 use mindful_core::budget::{budget_utilization, minimum_safe_area, power_budget};
+use mindful_core::explore::{pareto_frontier, pareto_frontier_naive, CandidatePoint};
 use mindful_core::regimes::{ScalingRegime, SplitDesign};
 use mindful_core::scaling::{scale_baseline, scale_to_channels};
-use mindful_core::soc::{soc_by_id, SensingFractions, SocSpec};
+use mindful_core::soc::{soc_by_id, wireless_socs, SensingFractions, SocSpec};
+use mindful_core::sweep::SweepGrid;
 use mindful_core::throughput::sensing_throughput;
 use mindful_core::units::{Area, DataRate, Energy, Frequency, Power, PowerDensity};
 use proptest::prelude::*;
@@ -171,5 +175,114 @@ proptest! {
         prop_assert!(s.area().square_meters() > 0.0);
         prop_assert!(s.power().is_finite());
         prop_assert!(s.area().is_finite());
+    }
+}
+
+/// Candidate sets drawn from tiny value grids, so exact-equal powers,
+/// areas, and full duplicates occur constantly — the regime where a
+/// skyline's tie handling can diverge from the all-pairs oracle.
+fn tie_heavy_candidates() -> impl Strategy<Value = Vec<CandidatePoint>> {
+    prop::collection::vec(
+        (
+            prop::sample::select(vec![1024_u64, 2048, 4096]),
+            1_u32..6,
+            1_u32..6,
+        ),
+        1..40,
+    )
+    .prop_map(|cells| {
+        cells
+            .into_iter()
+            .enumerate()
+            .map(|(i, (channels, pw, ar))| {
+                CandidatePoint::new(
+                    format!("p{i}"),
+                    channels,
+                    Power::from_milliwatts(f64::from(pw) * 5.0),
+                    Area::from_square_millimeters(f64::from(ar) * 10.0),
+                )
+                .unwrap()
+            })
+            .collect()
+    })
+}
+
+/// Candidate sets with continuous objectives (ties are measure-zero).
+fn continuous_candidates() -> impl Strategy<Value = Vec<CandidatePoint>> {
+    prop::collection::vec((1_u64..10_000, 1e-3_f64..100.0, 1e-3_f64..500.0), 1..60).prop_map(
+        |cells| {
+            cells
+                .into_iter()
+                .enumerate()
+                .map(|(i, (channels, mw, mm2))| {
+                    CandidatePoint::new(
+                        format!("p{i}"),
+                        channels,
+                        Power::from_milliwatts(mw),
+                        Area::from_square_millimeters(mm2),
+                    )
+                    .unwrap()
+                })
+                .collect()
+        },
+    )
+}
+
+fn assert_no_dominated_point(frontier: &[CandidatePoint]) -> Result<(), TestCaseError> {
+    for p in frontier {
+        for q in frontier {
+            prop_assert!(!q.dominates(p), "{} dominates {}", q.label, p.label);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn skyline_frontier_equals_naive_oracle_on_ties(set in tie_heavy_candidates()) {
+        prop_assert_eq!(pareto_frontier(&set), pareto_frontier_naive(&set));
+    }
+
+    #[test]
+    fn skyline_frontier_equals_naive_oracle_continuous(set in continuous_candidates()) {
+        prop_assert_eq!(pareto_frontier(&set), pareto_frontier_naive(&set));
+    }
+
+    #[test]
+    fn frontier_is_idempotent_and_never_dominated(set in tie_heavy_candidates()) {
+        let once = pareto_frontier(&set);
+        let twice = pareto_frontier(&once);
+        prop_assert_eq!(&once, &twice);
+        assert_no_dominated_point(&once)?;
+    }
+
+    #[test]
+    fn parallel_sweep_is_identical_to_serial(
+        channels in prop::collection::vec(
+            prop::sample::select(vec![1024_u64, 1536, 2048, 3072, 4096, 8192]),
+            1..5,
+        ),
+        efficiencies in prop::collection::vec(0.05_f64..1.0, 1..4),
+        workers in 2_usize..9,
+    ) {
+        let grid = SweepGrid::builder()
+            .socs(wireless_socs())
+            .channels(channels)
+            .efficiencies(efficiencies)
+            .build()
+            .unwrap();
+        let serial = grid
+            .evaluate_with_threads(NonZeroUsize::MIN)
+            .unwrap();
+        let parallel = grid
+            .evaluate_with_threads(NonZeroUsize::new(workers).unwrap())
+            .unwrap();
+        prop_assert_eq!(serial.points(), parallel.points());
+        prop_assert_eq!(serial.to_csv(), parallel.to_csv());
+        // The frontier derived from the sweep is stable too.
+        prop_assert_eq!(
+            serial.feasible_frontier().unwrap(),
+            parallel.feasible_frontier().unwrap()
+        );
     }
 }

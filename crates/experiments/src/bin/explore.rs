@@ -1,0 +1,11 @@
+//! Sweeps the full design space and emits the feasible Pareto frontier.
+
+fn main() {
+    match mindful_experiments::run_by_name("explore") {
+        Ok(artifacts) => artifacts.print(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,11 +1,36 @@
 //! Prints the live reproduction scoreboard (paper vs measured).
+//!
+//! Exits nonzero when any paper claim fails to hold, so CI can gate
+//! directly on this binary.
+
+use mindful_experiments::output::results_dir;
+use mindful_experiments::scoreboard;
 
 fn main() {
-    match mindful_experiments::run_by_name("scoreboard") {
+    let board = match scoreboard::generate() {
+        Ok(board) => board,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    match scoreboard::render(&board, &results_dir("scoreboard")) {
         Ok(artifacts) => artifacts.print(),
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
+    }
+    let failed: Vec<_> = board.rows.iter().filter(|r| !r.holds).collect();
+    if !failed.is_empty() {
+        for row in &failed {
+            eprintln!("FAILED [{}] {}", row.source, row.claim);
+        }
+        eprintln!(
+            "{} of {} paper claims failed",
+            failed.len(),
+            board.rows.len()
+        );
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,185 @@
+//! Explore — the full feasible design space, swept by the parallel
+//! engine and reduced to its Pareto frontier.
+//!
+//! Where Figs. 5–7 and 10 each slice the design space along one axis,
+//! this experiment sweeps the whole product space — every wireless SoC
+//! anchor × both scaling regimes × channel counts to 8192 × three
+//! communication-efficiency levels — and reports the frontier of
+//! budget-respecting points over (channels ↑, power ↓, area ↓).
+
+use std::collections::{BTreeMap, HashSet};
+use std::path::Path;
+
+use mindful_core::explore::{best_by_channels, CandidatePoint};
+use mindful_core::soc::wireless_socs;
+use mindful_core::sweep::{SweepGrid, SweepResult};
+use mindful_plot::{Csv, LineChart, Series};
+
+use crate::error::Result;
+use crate::output::Artifacts;
+
+/// Channel sweep granularity.
+pub const CHANNEL_STEP: u64 = 256;
+
+/// Channel sweep limit (the paper's figures stop at 8192).
+pub const CHANNEL_LIMIT: u64 = 8192;
+
+/// Communication-efficiency levels: ideal, mid-term, and the paper's
+/// 20 % short-term QAM efficiency.
+pub const EFFICIENCIES: [f64; 3] = [1.0, 0.5, 0.2];
+
+/// The generated exploration: the full sweep and its feasible frontier.
+#[derive(Debug, Clone)]
+pub struct Explore {
+    /// Every evaluated cell, in grid order.
+    pub result: SweepResult,
+    /// The Pareto frontier of the budget-respecting cells.
+    pub frontier: Vec<CandidatePoint>,
+}
+
+/// The grid declaration behind the experiment.
+///
+/// # Errors
+///
+/// Cannot fail for the built-in axes; propagates builder validation.
+pub fn grid() -> Result<SweepGrid> {
+    Ok(SweepGrid::builder()
+        .socs(wireless_socs())
+        .channels((1024..=CHANNEL_LIMIT).step_by(CHANNEL_STEP as usize))
+        .efficiencies(EFFICIENCIES)
+        .build()?)
+}
+
+/// Evaluates the full grid and extracts the feasible frontier.
+///
+/// # Errors
+///
+/// Propagates sweep evaluation errors (cannot occur for the built-in
+/// grid).
+pub fn generate() -> Result<Explore> {
+    let result = grid()?.evaluate()?;
+    let frontier = result.feasible_frontier()?;
+    Ok(Explore { result, frontier })
+}
+
+/// Writes the full sweep CSV, the frontier CSV, and the frontier SVG.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn render(fig: &Explore, dir: &Path) -> Result<Artifacts> {
+    let mut artifacts = Artifacts::new();
+    artifacts.write_file(dir, "explore.csv", &fig.result.to_csv())?;
+
+    let members: HashSet<String> = fig.frontier.iter().map(|c| c.label.clone()).collect();
+    let mut csv = Csv::new(&[
+        "soc",
+        "regime",
+        "channels",
+        "efficiency",
+        "power_mw",
+        "area_mm2",
+        "budget_utilization",
+        "sensing_area_fraction",
+    ]);
+    let mut series: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for p in fig.result.points() {
+        if !members.contains(&p.label()) {
+            continue;
+        }
+        csv.push(&[
+            p.soc.clone(),
+            p.regime.to_string(),
+            p.channels.to_string(),
+            p.efficiency.to_string(),
+            p.power.milliwatts().to_string(),
+            p.area.square_millimeters().to_string(),
+            p.budget_utilization.to_string(),
+            p.sensing_area_fraction.to_string(),
+        ]);
+        series
+            .entry(p.regime.to_string())
+            .or_default()
+            .push((p.channels as f64, p.power.milliwatts()));
+    }
+    artifacts.write_file(dir, "explore_frontier.csv", csv.as_str())?;
+
+    let mut chart = LineChart::new(
+        "Explore: Pareto frontier of the feasible design space",
+        "Number of NI Channels",
+        "Total Power [mW]",
+    );
+    for (regime, mut points) in series {
+        points.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+        chart.push_series(Series::new(format!("frontier ({regime})"), points));
+    }
+    artifacts.write_file(dir, "explore.svg", &chart.to_svg())?;
+
+    let feasible = fig.result.feasible().len();
+    artifacts.report(format!(
+        "Explore: {} cells swept, {} within the safety budget, {} on the frontier",
+        fig.result.len(),
+        feasible,
+        fig.frontier.len(),
+    ));
+    artifacts.report(format!(
+        "Explore: projection cache reused {} of {} lookups",
+        fig.result.cache_hits(),
+        fig.result.cache_hits() + fig.result.cache_misses(),
+    ));
+    if let Some(best) = best_by_channels(&fig.frontier) {
+        artifacts.report(format!(
+            "Explore: most channels on the feasible frontier: {} ({} ch, {:.2} mW, {:.0} mm2)",
+            best.label,
+            best.channels,
+            best.power.milliwatts(),
+            best.area.square_millimeters(),
+        ));
+    }
+    Ok(artifacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mindful_core::sweep::SWEEP_THREADS_ENV;
+
+    #[test]
+    fn sweep_covers_the_full_product_space() {
+        let fig = generate().unwrap();
+        let channels = (1024..=CHANNEL_LIMIT)
+            .step_by(CHANNEL_STEP as usize)
+            .count();
+        assert_eq!(fig.result.len(), 8 * 2 * channels * EFFICIENCIES.len());
+        assert!(!fig.frontier.is_empty());
+        assert!(fig.frontier.len() <= fig.result.feasible().len());
+        for point in &fig.frontier {
+            assert!(point.is_safe());
+        }
+    }
+
+    #[test]
+    fn sweep_csv_is_byte_identical_across_thread_counts() {
+        // The acceptance property behind the engine: pinning the worker
+        // count through the environment must not change a single byte.
+        std::env::set_var(SWEEP_THREADS_ENV, "1");
+        let serial = generate().unwrap();
+        std::env::set_var(SWEEP_THREADS_ENV, "8");
+        let parallel = generate().unwrap();
+        std::env::remove_var(SWEEP_THREADS_ENV);
+        assert_eq!(serial.result.to_csv(), parallel.result.to_csv());
+        assert_eq!(serial.frontier, parallel.frontier);
+    }
+
+    #[test]
+    fn render_writes_three_files() {
+        let dir = std::env::temp_dir().join("mindful-explore-test");
+        let artifacts = render(&generate().unwrap(), &dir).unwrap();
+        assert_eq!(artifacts.files().len(), 3);
+        assert!(artifacts.report_text().contains("on the frontier"));
+        assert!(artifacts.report_text().contains("projection cache reused"));
+        let csv = std::fs::read_to_string(dir.join("explore.csv")).unwrap();
+        assert!(csv.lines().count() > 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

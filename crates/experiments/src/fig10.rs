@@ -3,7 +3,9 @@
 
 use std::path::Path;
 
-use mindful_core::regimes::standard_split_designs;
+use mindful_core::regimes::{standard_split_designs, ScalingRegime};
+use mindful_core::soc::wireless_socs;
+use mindful_core::sweep::{par_map, sweep_threads, SweepGrid};
 use mindful_dnn::integration::{evaluate_full, max_channels, IntegrationConfig};
 use mindful_dnn::models::ModelFamily;
 use mindful_dnn::DnnError;
@@ -66,28 +68,49 @@ impl Fig10 {
 /// (which simply ends a curve).
 pub fn generate() -> Result<Fig10> {
     let config = IntegrationConfig::paper_45nm();
+    let designs = standard_split_designs();
+    let channels: Vec<u64> = (1024..=LIMIT).step_by(STEP as usize).collect();
+    let grid = SweepGrid::builder()
+        .socs(wireless_socs())
+        // The regime axis is inert here: Fig. 10 scales through the
+        // DNN integration model, not the area hypothesis.
+        .regimes([ScalingRegime::Naive])
+        .channels(channels.clone())
+        .build()?;
     let mut fig = Fig10 {
         mlp: Vec::new(),
         dn_cnn: Vec::new(),
     };
-    for design in standard_split_designs() {
-        for family in ModelFamily::ALL {
+    for family in ModelFamily::ALL {
+        let cells =
+            grid.map(
+                |c| match evaluate_full(&designs[c.soc_index], family, c.channels, &config) {
+                    Ok(point) => Ok(Some(point.budget_utilization())),
+                    Err(DnnError::Accel(_)) => Ok(None),
+                    Err(e) => Err(crate::ExperimentError::from(e)),
+                },
+            );
+        let maxima = par_map(&designs, sweep_threads(), |_, design| {
+            max_channels(design, family, &config, 64, 1 << 15).map_err(crate::ExperimentError::from)
+        });
+        let mut cells = cells.into_iter();
+        for (design, max) in designs.iter().zip(maxima) {
             let mut points = Vec::new();
-            let mut n = design.reference_channels();
-            while n <= LIMIT {
-                match evaluate_full(&design, family, n, &config) {
-                    Ok(point) => points.push((n, point.budget_utilization())),
-                    Err(DnnError::Accel(_)) => break,
-                    Err(e) => return Err(e.into()),
+            let mut feasible = true;
+            for (&n, cell) in channels.iter().zip(cells.by_ref().take(channels.len())) {
+                if !feasible {
+                    continue;
                 }
-                n += STEP;
+                match cell? {
+                    Some(utilization) => points.push((n, utilization)),
+                    None => feasible = false,
+                }
             }
-            let max = max_channels(&design, family, &config, 64, 1 << 15)?;
             let curve = PowerCurve {
                 id: design.scaled().spec().id(),
                 name: design.scaled().name().to_owned(),
                 points,
-                max_channels: max,
+                max_channels: max?,
             };
             match family {
                 ModelFamily::Mlp => fig.mlp.push(curve),

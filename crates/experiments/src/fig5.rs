@@ -4,7 +4,10 @@
 
 use std::path::Path;
 
-use mindful_core::regimes::{standard_split_designs, Projection, ScalingRegime};
+use mindful_core::regimes::{Projection, ScalingRegime};
+use mindful_core::scaling::standard_design_points;
+use mindful_core::soc::wireless_socs;
+use mindful_core::sweep::SweepGrid;
 use mindful_plot::{BarChart, Csv};
 
 use crate::error::Result;
@@ -33,32 +36,36 @@ pub struct Fig5 {
     pub high_margin: Vec<SocSweep>,
 }
 
+/// Projects one regime's sweep through the parallel engine and groups
+/// the grid-ordered projections back into per-SoC sweeps.
+fn soc_sweeps(regime: ScalingRegime) -> Result<Vec<SocSweep>> {
+    let grid = SweepGrid::builder()
+        .socs(wireless_socs())
+        .regimes([regime])
+        .channels(SWEEP)
+        .build()?;
+    let projections = grid.project()?;
+    Ok(standard_design_points()
+        .iter()
+        .zip(projections.chunks(SWEEP.len()))
+        .map(|(anchor, chunk)| SocSweep {
+            name: anchor.name().to_owned(),
+            id: anchor.spec().id(),
+            projections: chunk.to_vec(),
+        })
+        .collect())
+}
+
 /// Projects SoCs 1–8 across the channel sweep under both regimes.
 ///
 /// # Errors
 ///
 /// Propagates projection errors (cannot occur for the built-in sweep).
 pub fn generate() -> Result<Fig5> {
-    let designs = standard_split_designs();
-    let mut naive = Vec::new();
-    let mut high_margin = Vec::new();
-    for design in &designs {
-        for (regime, bucket) in [
-            (ScalingRegime::Naive, &mut naive),
-            (ScalingRegime::HighMargin, &mut high_margin),
-        ] {
-            let projections = SWEEP
-                .iter()
-                .map(|&n| design.project(regime, n))
-                .collect::<Result<Vec<_>, _>>()?;
-            bucket.push(SocSweep {
-                name: design.scaled().name().to_owned(),
-                id: design.scaled().spec().id(),
-                projections,
-            });
-        }
-    }
-    Ok(Fig5 { naive, high_margin })
+    Ok(Fig5 {
+        naive: soc_sweeps(ScalingRegime::Naive)?,
+        high_margin: soc_sweeps(ScalingRegime::HighMargin)?,
+    })
 }
 
 /// Writes stacked-bar figures (one per regime) plus the CSV series.

@@ -3,7 +3,10 @@
 
 use std::path::Path;
 
-use mindful_core::regimes::{standard_split_designs, ScalingRegime};
+use mindful_core::regimes::ScalingRegime;
+use mindful_core::scaling::standard_design_points;
+use mindful_core::soc::wireless_socs;
+use mindful_core::sweep::SweepGrid;
 use mindful_plot::{Csv, LineChart, Series};
 
 use crate::error::Result;
@@ -33,32 +36,39 @@ pub struct Fig6 {
     pub high_margin: Vec<FractionCurve>,
 }
 
+/// Sweeps one regime through the parallel engine and groups the
+/// grid-ordered projections back into per-SoC curves.
+fn fraction_curves(regime: ScalingRegime) -> Result<Vec<FractionCurve>> {
+    let grid = SweepGrid::builder()
+        .socs(wireless_socs())
+        .regimes([regime])
+        .channels(SWEEP)
+        .build()?;
+    let projections = grid.project()?;
+    Ok(standard_design_points()
+        .iter()
+        .zip(projections.chunks(SWEEP.len()))
+        .map(|(anchor, chunk)| FractionCurve {
+            id: anchor.spec().id(),
+            name: anchor.name().to_owned(),
+            points: chunk
+                .iter()
+                .map(|p| (p.channels(), p.sensing_area_fraction()))
+                .collect(),
+        })
+        .collect())
+}
+
 /// Sweeps the sensing-area fraction for SoCs 1–8 under both regimes.
 ///
 /// # Errors
 ///
 /// Propagates projection errors (cannot occur for the built-in sweep).
 pub fn generate() -> Result<Fig6> {
-    let designs = standard_split_designs();
-    let mut naive = Vec::new();
-    let mut high_margin = Vec::new();
-    for design in &designs {
-        for (regime, bucket) in [
-            (ScalingRegime::Naive, &mut naive),
-            (ScalingRegime::HighMargin, &mut high_margin),
-        ] {
-            let points = SWEEP
-                .iter()
-                .map(|&n| Ok((n, design.project(regime, n)?.sensing_area_fraction())))
-                .collect::<Result<Vec<_>>>()?;
-            bucket.push(FractionCurve {
-                id: design.scaled().spec().id(),
-                name: design.scaled().name().to_owned(),
-                points,
-            });
-        }
-    }
-    Ok(Fig6 { naive, high_margin })
+    Ok(Fig6 {
+        naive: fraction_curves(ScalingRegime::Naive)?,
+        high_margin: fraction_curves(ScalingRegime::HighMargin)?,
+    })
 }
 
 /// Writes the two line charts and the CSV series.

@@ -4,7 +4,9 @@
 
 use std::path::Path;
 
-use mindful_core::regimes::standard_split_designs;
+use mindful_core::regimes::{standard_split_designs, ScalingRegime};
+use mindful_core::soc::wireless_socs;
+use mindful_core::sweep::{par_map, sweep_threads, SweepGrid};
 use mindful_plot::{Csv, LineChart, Series};
 use mindful_rf::efficiency::{
     max_channels_at_efficiency, qam_operating_point, SHORT_TERM_QAM_EFFICIENCY,
@@ -69,26 +71,54 @@ fn average_multiple(values: impl Iterator<Item = u64>) -> f64 {
 
 /// Sweeps the minimum QAM efficiency for SoCs 1–8.
 ///
+/// The sweep is a grid declaration over SoC × channel count, fanned out
+/// by the core sweep engine; a curve still ends at its first infeasible
+/// point exactly as the paper's figure does (later grid cells for that
+/// SoC are computed in parallel but discarded).
+///
 /// # Errors
 ///
 /// Propagates link-budget errors.
 pub fn generate() -> Result<Fig7> {
     let link = LinkBudget::paper_nominal();
+    let designs = standard_split_designs();
+    let channels: Vec<u64> = (1024..=LIMIT).step_by(STEP as usize).collect();
+    let grid = SweepGrid::builder()
+        .socs(wireless_socs())
+        // The regime axis is inert here: Fig. 7 is governed by the
+        // link budget, not the area hypothesis.
+        .regimes([ScalingRegime::Naive])
+        .channels(channels.clone())
+        .build()?;
+    let cells = grid.map(
+        |c| match qam_operating_point(&designs[c.soc_index], c.channels, &link) {
+            Ok(point) => Ok(Some(point.min_efficiency())),
+            Err(RfError::LinkInfeasible { .. }) => Ok(None),
+            Err(e) => Err(crate::ExperimentError::from(e)),
+        },
+    );
+    let maxima = par_map(&designs, sweep_threads(), |_, design| {
+        Ok::<_, crate::ExperimentError>((
+            max_channels_at_efficiency(design, SHORT_TERM_QAM_EFFICIENCY, &link, 64, 1 << 16)?,
+            max_channels_at_efficiency(design, 1.0, &link, 64, 1 << 16)?,
+        ))
+    });
+
     let mut curves = Vec::new();
-    for design in standard_split_designs() {
+    let mut cells = cells.into_iter();
+    for (design, maxima) in designs.iter().zip(maxima) {
+        let (max_at_20, max_at_100) = maxima?;
         let mut points = Vec::new();
-        let mut n = design.reference_channels();
-        while n <= LIMIT {
-            match qam_operating_point(&design, n, &link) {
-                Ok(point) => points.push((n, point.min_efficiency())),
-                Err(RfError::LinkInfeasible { .. }) => break,
-                Err(e) => return Err(e.into()),
+        let mut feasible = true;
+        for (&n, cell) in channels.iter().zip(cells.by_ref().take(channels.len())) {
+            if !feasible {
+                continue;
             }
-            n += STEP;
+            match cell? {
+                Some(efficiency) => points.push((n, efficiency)),
+                None => feasible = false,
+            }
         }
-        let max_at_20 =
-            max_channels_at_efficiency(&design, SHORT_TERM_QAM_EFFICIENCY, &link, 64, 1 << 16)?;
-        let max_at_100 = max_channels_at_efficiency(&design, 1.0, &link, 64, 1 << 16)?;
         curves.push(EfficiencyCurve {
             id: design.scaled().spec().id(),
             name: design.scaled().name().to_owned(),

@@ -20,6 +20,7 @@
 
 pub mod ablations;
 mod error;
+pub mod explore;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -58,6 +59,7 @@ pub fn run_by_name(name: &str) -> Result<Artifacts> {
         "fig10" => fig10::render(&fig10::generate()?, &dir),
         "fig11" => fig11::render(&fig11::generate()?, &dir),
         "fig12" => fig12::render(&fig12::generate()?, &dir),
+        "explore" => explore::render(&explore::generate()?, &dir),
         "ext_realtime" => realtime::render(&realtime::generate()?, &dir),
         "ext_snn" => snn_study::render(&snn_study::generate()?, &dir),
         "ext_wpt" => wpt_study::render(&wpt_study::generate()?, &dir),
@@ -76,8 +78,15 @@ pub const ALL_EXPERIMENTS: [&str; 9] = [
     "table1", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "fig11", "fig12",
 ];
 
-/// The beyond-the-paper extension studies (Sections 7–8 directions).
-pub const ALL_EXTENSIONS: [&str; 4] = ["ext_realtime", "ext_snn", "ext_wpt", "ext_ablations"];
+/// The beyond-the-paper extension studies (Sections 7–8 directions),
+/// plus the full design-space exploration built on the sweep engine.
+pub const ALL_EXTENSIONS: [&str; 5] = [
+    "explore",
+    "ext_realtime",
+    "ext_snn",
+    "ext_wpt",
+    "ext_ablations",
+];
 
 #[cfg(test)]
 mod tests {

@@ -299,6 +299,14 @@ fn nearest_level(value: f64, half_bits: usize) -> u32 {
 mod tests {
     use super::*;
 
+    const SEED_ROUND_TRIP: u64 = 7;
+    const SEED_SYMBOL_ENERGY: u64 = 3;
+    const SEED_BER_OOK: u64 = 11;
+    const SEED_BER_QPSK: u64 = 23;
+    const SEED_BER_16QAM: u64 = 37;
+    const SEED_BER_SNR: u64 = 5;
+    const SEED_CHANNEL_NOISE: u64 = 99;
+
     #[test]
     fn gray_code_round_trips() {
         for i in 0..1024_u32 {
@@ -316,7 +324,7 @@ mod tests {
 
     #[test]
     fn noiseless_round_trip_every_scheme() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = StdRng::seed_from_u64(SEED_ROUND_TRIP);
         let bits: Vec<bool> = (0..960).map(|_| rng.random()).collect();
         for modulation in [
             Modulation::Ook,
@@ -335,7 +343,7 @@ mod tests {
 
     #[test]
     fn average_symbol_energy_matches_k_eb() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = StdRng::seed_from_u64(SEED_SYMBOL_ENERGY);
         for k in [2_u8, 4, 6] {
             let modem = Modem::new(Modulation::qam(k).unwrap(), 2.5).unwrap();
             let bits: Vec<bool> = (0..60_000).map(|_| rng.random()).collect();
@@ -362,7 +370,7 @@ mod tests {
     fn measured_ber_matches_theory_ook() {
         // Eb/N0 = 4 (6 dB): theory Q(2) ≈ 2.275e-2.
         let modem = Modem::new(Modulation::Ook, 4.0).unwrap();
-        let measured = modem.measure_ber(1.0, 400_000, 11).unwrap();
+        let measured = modem.measure_ber(1.0, 400_000, SEED_BER_OOK).unwrap();
         let theory = Modulation::Ook.ber(4.0);
         assert!(
             (measured / theory - 1.0).abs() < 0.1,
@@ -375,7 +383,7 @@ mod tests {
         // Eb/N0 = 4: QPSK theory Q(√8) ≈ 2.34e-3.
         let modulation = Modulation::qam(2).unwrap();
         let modem = Modem::new(modulation, 4.0).unwrap();
-        let measured = modem.measure_ber(1.0, 2_000_000, 23).unwrap();
+        let measured = modem.measure_ber(1.0, 2_000_000, SEED_BER_QPSK).unwrap();
         let theory = modulation.ber(4.0);
         assert!(
             (measured / theory - 1.0).abs() < 0.15,
@@ -388,7 +396,7 @@ mod tests {
         // Eb/N0 = 10: 16-QAM theory ≈ 1.74e-3 (Gray approximation).
         let modulation = Modulation::qam(4).unwrap();
         let modem = Modem::new(modulation, 10.0).unwrap();
-        let measured = modem.measure_ber(1.0, 2_000_000, 37).unwrap();
+        let measured = modem.measure_ber(1.0, 2_000_000, SEED_BER_16QAM).unwrap();
         let theory = modulation.ber(10.0);
         assert!(
             (measured / theory - 1.0).abs() < 0.2,
@@ -399,8 +407,8 @@ mod tests {
     #[test]
     fn measured_ber_falls_with_snr() {
         let modem = Modem::new(Modulation::qam(2).unwrap(), 1.0).unwrap();
-        let noisy = modem.measure_ber(1.0, 100_000, 5).unwrap();
-        let clean = modem.measure_ber(0.1, 100_000, 5).unwrap();
+        let noisy = modem.measure_ber(1.0, 100_000, SEED_BER_SNR).unwrap();
+        let clean = modem.measure_ber(0.1, 100_000, SEED_BER_SNR).unwrap();
         assert!(clean < noisy);
     }
 
@@ -424,7 +432,7 @@ mod tests {
 
     #[test]
     fn channel_noise_has_expected_variance() {
-        let mut channel = AwgnChannel::new(2.0, 99).unwrap();
+        let mut channel = AwgnChannel::new(2.0, SEED_CHANNEL_NOISE).unwrap();
         let mut symbols = vec![Symbol::default(); 50_000];
         channel.apply(&mut symbols);
         let var_i: f64 = symbols.iter().map(|s| s.i * s.i).sum::<f64>() / symbols.len() as f64;

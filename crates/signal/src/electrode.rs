@@ -124,10 +124,16 @@ mod tests {
     use super::*;
     use crate::neuron::Intent;
 
+    const SEED_SHAPE: u64 = 1;
+    const SEED_LOCALITY: u64 = 2;
+    const SEED_DECAY: u64 = 3;
+    const SEED_NOISE: u64 = 4;
+    const SEED_PIPELINE: u64 = 8;
+
     #[test]
     fn grid_produces_square_channel_count() {
-        let p = Population::new(100, 1).unwrap();
-        let a = ElectrodeArray::grid(8, &p, 0.01, 1).unwrap();
+        let p = Population::new(100, SEED_SHAPE).unwrap();
+        let a = ElectrodeArray::grid(8, &p, 0.01, SEED_SHAPE).unwrap();
         assert_eq!(a.channels(), 64);
         assert_eq!(a.neurons(), 100);
     }
@@ -137,7 +143,7 @@ mod tests {
         // A single neuron spiking must be seen most strongly by the
         // closest channel.
         let p = Population::new(32, 5).unwrap();
-        let mut a = ElectrodeArray::grid(4, &p, 0.0, 2).unwrap();
+        let mut a = ElectrodeArray::grid(4, &p, 0.0, SEED_LOCALITY).unwrap();
         let target = 7; // arbitrary neuron
         let (nx, ny) = p.positions()[target];
         let mut spikes = vec![false; 32];
@@ -158,7 +164,7 @@ mod tests {
     #[test]
     fn silence_decays_toward_lfp_floor() {
         let p = Population::new(16, 3).unwrap();
-        let mut a = ElectrodeArray::grid(2, &p, 0.0, 3).unwrap();
+        let mut a = ElectrodeArray::grid(2, &p, 0.0, SEED_DECAY).unwrap();
         let all = vec![true; 16];
         let none = vec![false; 16];
         let active = a.sense(&all).unwrap();
@@ -175,8 +181,8 @@ mod tests {
     #[test]
     fn noise_level_controls_variance() {
         let p = Population::new(16, 3).unwrap();
-        let mut quiet_arr = ElectrodeArray::grid(2, &p, 0.001, 4).unwrap();
-        let mut noisy_arr = ElectrodeArray::grid(2, &p, 0.5, 4).unwrap();
+        let mut quiet_arr = ElectrodeArray::grid(2, &p, 0.001, SEED_NOISE).unwrap();
+        let mut noisy_arr = ElectrodeArray::grid(2, &p, 0.5, SEED_NOISE).unwrap();
         let none = vec![false; 16];
         let collect = |arr: &mut ElectrodeArray| -> f64 {
             let mut values = Vec::new();
@@ -200,8 +206,8 @@ mod tests {
 
     #[test]
     fn end_to_end_with_population_step() {
-        let mut p = Population::new(64, 8).unwrap();
-        let mut a = ElectrodeArray::grid(4, &p, 0.02, 8).unwrap();
+        let mut p = Population::new(64, SEED_PIPELINE).unwrap();
+        let mut a = ElectrodeArray::grid(4, &p, 0.02, SEED_PIPELINE).unwrap();
         for _ in 0..50 {
             let spikes = p.step(Intent::new(0.5, 0.5));
             let v = a.sense(&spikes).unwrap();

@@ -112,9 +112,14 @@ impl NeuralInterface {
 mod tests {
     use super::*;
 
+    const SEED_FRAMES: u64 = 42;
+    const SEED_CODES: u64 = 1;
+    const SEED_DETERMINISM: u64 = 5;
+    const SEED_MODULATION: u64 = 9;
+
     #[test]
     fn frames_have_channel_width() {
-        let mut ni = NeuralInterface::new(8, 200, 10, 42).unwrap();
+        let mut ni = NeuralInterface::new(8, 200, 10, SEED_FRAMES).unwrap();
         let frame = ni.sample(Intent::new(0.2, -0.4)).unwrap();
         assert_eq!(frame.samples.len(), 64);
         assert_eq!(frame.spikes.len(), 200);
@@ -124,7 +129,7 @@ mod tests {
 
     #[test]
     fn codes_fit_the_bit_width() {
-        let mut ni = NeuralInterface::new(4, 64, 10, 1).unwrap();
+        let mut ni = NeuralInterface::new(4, 64, 10, SEED_CODES).unwrap();
         for _ in 0..100 {
             let frame = ni.sample(Intent::default()).unwrap();
             assert!(frame.samples.iter().all(|&c| c < 1024));
@@ -133,8 +138,8 @@ mod tests {
 
     #[test]
     fn recording_is_deterministic_per_seed() {
-        let mut a = NeuralInterface::new(4, 64, 10, 5).unwrap();
-        let mut b = NeuralInterface::new(4, 64, 10, 5).unwrap();
+        let mut a = NeuralInterface::new(4, 64, 10, SEED_DETERMINISM).unwrap();
+        let mut b = NeuralInterface::new(4, 64, 10, SEED_DETERMINISM).unwrap();
         assert_eq!(
             a.record_trajectory(50).unwrap(),
             b.record_trajectory(50).unwrap()
@@ -143,7 +148,7 @@ mod tests {
 
     #[test]
     fn trajectory_covers_intent_space() {
-        let mut ni = NeuralInterface::new(4, 64, 10, 5).unwrap();
+        let mut ni = NeuralInterface::new(4, 64, 10, SEED_DETERMINISM).unwrap();
         let frames = ni.record_trajectory(700).unwrap();
         let max_x = frames.iter().map(|f| f.intent.x).fold(f64::MIN, f64::max);
         let min_x = frames.iter().map(|f| f.intent.x).fold(f64::MAX, f64::min);
@@ -154,7 +159,7 @@ mod tests {
     fn signal_carries_information_about_intent() {
         // Frames recorded under opposite intents must differ in their
         // mean channel activity over time.
-        let mut ni = NeuralInterface::new(4, 128, 10, 9).unwrap();
+        let mut ni = NeuralInterface::new(4, 128, 10, SEED_MODULATION).unwrap();
         let mut sum_a = 0.0_f64;
         let mut sum_b = 0.0_f64;
         for _ in 0..400 {

@@ -211,6 +211,12 @@ pub(crate) fn standard_normal(rng: &mut StdRng) -> f64 {
 mod tests {
     use super::*;
 
+    const SEED_TUNING: u64 = 1;
+    const SEED_DETERMINISM: u64 = 7;
+    const SEED_BASELINE_RATE: u64 = 3;
+    const SEED_POSITIONS: u64 = 9;
+    const SEED_NORMALITY: u64 = 11;
+
     #[test]
     fn drive_is_maximal_along_preferred_direction() {
         let n = Neuron::new(0.0, 0.1, 0.2, 0.2).unwrap();
@@ -230,7 +236,7 @@ mod tests {
 
     #[test]
     fn tuned_neurons_fire_more_along_their_preferred_direction() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = StdRng::seed_from_u64(SEED_TUNING);
         let mut count_along = 0_u32;
         let mut count_against = 0_u32;
         for _ in 0..2 {
@@ -255,8 +261,8 @@ mod tests {
 
     #[test]
     fn population_is_deterministic_per_seed() {
-        let mut a = Population::new(50, 7).unwrap();
-        let mut b = Population::new(50, 7).unwrap();
+        let mut a = Population::new(50, SEED_DETERMINISM).unwrap();
+        let mut b = Population::new(50, SEED_DETERMINISM).unwrap();
         for _ in 0..100 {
             assert_eq!(
                 a.step(Intent::new(0.3, -0.2)),
@@ -267,7 +273,7 @@ mod tests {
 
     #[test]
     fn population_spikes_at_plausible_rates() {
-        let mut p = Population::new(100, 3).unwrap();
+        let mut p = Population::new(100, SEED_BASELINE_RATE).unwrap();
         let steps = 5000;
         let mut spikes = 0_u64;
         for _ in 0..steps {
@@ -292,7 +298,7 @@ mod tests {
 
     #[test]
     fn positions_are_normalized() {
-        let p = Population::new(200, 9).unwrap();
+        let p = Population::new(200, SEED_POSITIONS).unwrap();
         assert_eq!(p.positions().len(), 200);
         assert!(!p.is_empty());
         assert!(p
@@ -303,7 +309,7 @@ mod tests {
 
     #[test]
     fn standard_normal_has_unit_variance() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = StdRng::seed_from_u64(SEED_NORMALITY);
         let samples: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let var =

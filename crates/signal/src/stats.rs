@@ -153,6 +153,11 @@ mod tests {
     use super::*;
     use crate::neuron::{Intent, Population};
 
+    const SEED_RATES: u64 = 5;
+    const SEED_ISI: u64 = 9;
+    const SEED_FANO: u64 = 11;
+    const SEED_CORRELATION: u64 = 21;
+
     fn record(seed: u64, steps: usize, intent: Intent) -> Vec<Vec<bool>> {
         let mut p = Population::new(40, seed).unwrap();
         let mut trains: Vec<Vec<bool>> = (0..40).map(|_| Vec::with_capacity(steps)).collect();
@@ -189,7 +194,7 @@ mod tests {
         // At a 2 kHz step rate, 2-25 % spike probability per step is
         // high but within the bursty range the decoders assume; the key
         // check is that no neuron is silent or saturated.
-        let trains = record(5, 4000, Intent::default());
+        let trains = record(SEED_RATES, 4000, Intent::default());
         for train in &trains {
             let s = train_stats(train).unwrap();
             assert!(
@@ -204,7 +209,7 @@ mod tests {
     fn synthetic_isi_irregularity_is_sub_poisson_but_not_clockwork() {
         // The AR(1)-membrane neuron fires more regularly than Poisson
         // (CV < 1) but must not be a metronome (CV > 0.1).
-        let trains = record(9, 6000, Intent::default());
+        let trains = record(SEED_ISI, 6000, Intent::default());
         let mut cvs = Vec::new();
         for train in &trains {
             let s = train_stats(train).unwrap();
@@ -221,7 +226,7 @@ mod tests {
 
     #[test]
     fn fano_factor_of_poissonish_trains_is_order_one() {
-        let trains = record(11, 8000, Intent::default());
+        let trains = record(SEED_FANO, 8000, Intent::default());
         let f = fano_factor(&trains[0], 200).unwrap();
         assert!((0.05..3.0).contains(&f), "Fano {f}");
         // Regular train has Fano ~0.
@@ -234,7 +239,7 @@ mod tests {
         // Two neurons driven by a shared strong intent correlate more
         // than under flat baseline drive.
         let driven = {
-            let mut p = Population::new(2, 21).unwrap();
+            let mut p = Population::new(2, SEED_CORRELATION).unwrap();
             let mut a = Vec::new();
             let mut b = Vec::new();
             for t in 0..6000 {

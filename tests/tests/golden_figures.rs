@@ -1,0 +1,197 @@
+//! Golden-figure regression suite.
+//!
+//! Every paper experiment is regenerated in-process and its CSV is
+//! diffed field-by-field against a committed snapshot under
+//! `tests/golden/`. Numeric fields compare with explicit tolerances
+//! (everything in the pipeline is deterministic, so the tolerances only
+//! absorb float formatting and cross-platform libm differences);
+//! non-numeric fields must match exactly, as must the header and the
+//! row count.
+//!
+//! To regenerate the snapshots after an intentional model change:
+//!
+//! ```text
+//! MINDFUL_BLESS=1 cargo test -p mindful-integration-tests --test golden_figures
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mindful_experiments::{explore, fig10, fig11, fig12, fig4, fig5, fig6, fig7, fig9, table1};
+
+/// Absolute tolerance for numeric fields.
+const ABS_TOL: f64 = 1e-9;
+
+/// Relative tolerance for numeric fields.
+const REL_TOL: f64 = 1e-9;
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(name)
+}
+
+fn close(a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    (a - b).abs() <= ABS_TOL + REL_TOL * a.abs().max(b.abs())
+}
+
+fn compare_csv(name: &str, golden: &str, produced: &str) {
+    let golden_rows: Vec<&str> = golden.lines().collect();
+    let produced_rows: Vec<&str> = produced.lines().collect();
+    assert_eq!(
+        golden_rows.first(),
+        produced_rows.first(),
+        "{name}: header changed"
+    );
+    assert_eq!(
+        golden_rows.len(),
+        produced_rows.len(),
+        "{name}: row count changed"
+    );
+    for (row, (g, p)) in golden_rows.iter().zip(&produced_rows).enumerate().skip(1) {
+        let golden_fields: Vec<&str> = g.split(',').collect();
+        let produced_fields: Vec<&str> = p.split(',').collect();
+        assert_eq!(
+            golden_fields.len(),
+            produced_fields.len(),
+            "{name} row {row}: field count changed"
+        );
+        for (col, (gv, pv)) in golden_fields.iter().zip(&produced_fields).enumerate() {
+            match (gv.parse::<f64>(), pv.parse::<f64>()) {
+                (Ok(a), Ok(b)) => assert!(
+                    close(a, b),
+                    "{name} row {row} col {col}: golden {a} vs produced {b}"
+                ),
+                _ => assert_eq!(gv, pv, "{name} row {row} col {col}: text field changed"),
+            }
+        }
+    }
+}
+
+/// Diffs `produced` against the committed snapshot `name`, or rewrites
+/// the snapshot when `MINDFUL_BLESS` is set.
+fn check_golden(name: &str, produced: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("MINDFUL_BLESS").is_some() {
+        fs::create_dir_all(path.parent().expect("golden files live in a directory")).unwrap();
+        fs::write(&path, produced).unwrap();
+        return;
+    }
+    let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with \
+             MINDFUL_BLESS=1 cargo test -p mindful-integration-tests --test golden_figures",
+            path.display()
+        )
+    });
+    compare_csv(name, &golden, produced);
+}
+
+/// Renders one experiment into a scratch directory and returns `file`.
+fn rendered_csv(experiment: &str, file: &str, render: impl FnOnce(&Path)) -> String {
+    let dir = std::env::temp_dir().join(format!("mindful-golden-{experiment}"));
+    render(&dir);
+    let text = fs::read_to_string(dir.join(file))
+        .unwrap_or_else(|e| panic!("{experiment} did not write {file}: {e}"));
+    fs::remove_dir_all(&dir).ok();
+    text
+}
+
+#[test]
+fn table1_matches_golden() {
+    let csv = rendered_csv("table1", "table1.csv", |d| {
+        table1::render(&table1::generate(), d).unwrap();
+    });
+    check_golden("table1.csv", &csv);
+}
+
+#[test]
+fn fig4_matches_golden() {
+    let csv = rendered_csv("fig4", "fig4.csv", |d| {
+        fig4::render(&fig4::generate(), d).unwrap();
+    });
+    check_golden("fig4.csv", &csv);
+}
+
+#[test]
+fn fig5_matches_golden() {
+    let csv = rendered_csv("fig5", "fig5.csv", |d| {
+        fig5::render(&fig5::generate().unwrap(), d).unwrap();
+    });
+    check_golden("fig5.csv", &csv);
+}
+
+#[test]
+fn fig6_matches_golden() {
+    let csv = rendered_csv("fig6", "fig6.csv", |d| {
+        fig6::render(&fig6::generate().unwrap(), d).unwrap();
+    });
+    check_golden("fig6.csv", &csv);
+}
+
+#[test]
+fn fig7_matches_golden() {
+    let csv = rendered_csv("fig7", "fig7.csv", |d| {
+        fig7::render(&fig7::generate().unwrap(), d).unwrap();
+    });
+    check_golden("fig7.csv", &csv);
+}
+
+#[test]
+fn fig9_matches_golden() {
+    let csv = rendered_csv("fig9", "fig9.csv", |d| {
+        fig9::render(&fig9::generate(), d).unwrap();
+    });
+    check_golden("fig9.csv", &csv);
+}
+
+#[test]
+fn fig10_matches_golden() {
+    let csv = rendered_csv("fig10", "fig10.csv", |d| {
+        fig10::render(&fig10::generate().unwrap(), d).unwrap();
+    });
+    check_golden("fig10.csv", &csv);
+}
+
+#[test]
+fn fig11_matches_golden() {
+    let csv = rendered_csv("fig11", "fig11.csv", |d| {
+        fig11::render(&fig11::generate().unwrap(), d).unwrap();
+    });
+    check_golden("fig11.csv", &csv);
+}
+
+#[test]
+fn fig12_matches_golden() {
+    let csv = rendered_csv("fig12", "fig12.csv", |d| {
+        fig12::render(&fig12::generate().unwrap(), d).unwrap();
+    });
+    check_golden("fig12.csv", &csv);
+}
+
+#[test]
+fn explore_sweep_matches_golden() {
+    // The sweep engine's output is fully deterministic (ordering is
+    // grid order regardless of worker count), so the full product-space
+    // CSV doubles as a regression net for the engine itself.
+    let csv = rendered_csv("explore", "explore.csv", |d| {
+        explore::render(&explore::generate().unwrap(), d).unwrap();
+    });
+    check_golden("explore.csv", &csv);
+}
+
+#[test]
+fn tolerance_comparison_accepts_formatting_noise_only() {
+    compare_csv("self", "a,b\n1.0,x\n", "a,b\n1.0000000000001,x\n");
+    let caught = std::panic::catch_unwind(|| {
+        compare_csv("self", "a,b\n1.0,x\n", "a,b\n1.1,x\n");
+    });
+    assert!(caught.is_err(), "a 10% numeric drift must be rejected");
+    let caught = std::panic::catch_unwind(|| {
+        compare_csv("self", "a,b\n1.0,x\n", "a,b\n1.0,y\n");
+    });
+    assert!(caught.is_err(), "a text change must be rejected");
+}
