@@ -1,0 +1,194 @@
+//! Benchmarks for the zero-allocation inference engine: blocked vs.
+//! naive kernels on a single sample, and batched forward over the
+//! shared worker pool.
+//!
+//! `report_infer_acceptance` doubles as the acceptance gate: it asserts
+//! the blocked single-sample path is at least 2x the naive oracle and
+//! that the batched path scales with threads (when the machine has
+//! them), and writes the measured medians to
+//! `results/bench/BENCH_infer.json`. Set `MINDFUL_BENCH_QUICK=1` (as CI
+//! does) to shrink iteration counts.
+
+use std::hint::black_box;
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mindful_core::pool::default_threads;
+use mindful_dnn::infer::Network;
+use mindful_dnn::models::{ModelFamily, BASE_CHANNELS};
+
+/// Channel count for the batch-scaling model (α = 2 MLP, ~2.6M MACs —
+/// heavy enough that fan-out dominates thread spawn cost).
+const BATCH_CHANNELS: u64 = 256;
+const BATCH_SAMPLES: usize = 48;
+
+fn quick() -> bool {
+    std::env::var_os("MINDFUL_BENCH_QUICK").is_some()
+}
+
+fn network(channels: u64) -> Network {
+    let arch = ModelFamily::Mlp
+        .architecture(channels)
+        .expect("MLP builds at any supported channel count");
+    Network::with_seeded_weights(arch, 7)
+}
+
+fn sample(width: usize, phase: usize) -> Vec<f32> {
+    (0..width)
+        .map(|i| (((i + phase) % 23) as f32 - 11.0) / 11.0)
+        .collect()
+}
+
+fn batch(width: usize, count: usize) -> Vec<Vec<f32>> {
+    (0..count).map(|s| sample(width, s)).collect()
+}
+
+/// Median wall time of `iters` runs of `f`, in nanoseconds per run.
+fn median_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn bench_single_sample(c: &mut Criterion) {
+    let net = network(BASE_CHANNELS);
+    let input = sample(BASE_CHANNELS as usize, 0);
+    let mut group = c.benchmark_group("infer");
+    group.sample_size(if quick() { 10 } else { 40 });
+    group.bench_function("naive_mlp128", |b| {
+        b.iter(|| black_box(net.forward_naive(black_box(&input)).unwrap()))
+    });
+    group.bench_function("blocked_mlp128", |b| {
+        let mut ws = net.workspace();
+        b.iter(|| {
+            black_box(net.forward_into(black_box(&input), &mut ws).unwrap());
+        })
+    });
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let net = network(BATCH_CHANNELS);
+    let inputs = batch(BATCH_CHANNELS as usize, BATCH_SAMPLES);
+    let mut group = c.benchmark_group("infer_batch");
+    group.sample_size(10);
+    group.bench_function("serial_mlp256x48", |b| {
+        b.iter(|| {
+            black_box(
+                net.forward_batch(black_box(&inputs), NonZeroUsize::MIN)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("pooled_mlp256x48", |b| {
+        b.iter(|| {
+            black_box(
+                net.forward_batch(black_box(&inputs), default_threads())
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// One-shot acceptance measurement. Asserts the performance contract
+/// and records the medians as a machine-readable artifact.
+fn report_infer_acceptance(_c: &mut Criterion) {
+    let iters = if quick() { 60 } else { 300 };
+    let net = network(BASE_CHANNELS);
+    let input = sample(BASE_CHANNELS as usize, 0);
+
+    // Warm up both paths (workspace arenas, page faults, frequency).
+    let mut ws = net.workspace();
+    for _ in 0..5 {
+        black_box(net.forward_naive(&input).unwrap());
+        black_box(net.forward_into(&input, &mut ws).unwrap());
+    }
+    let naive_ns = median_ns(iters, || {
+        black_box(net.forward_naive(black_box(&input)).unwrap());
+    });
+    let blocked_ns = median_ns(iters, || {
+        black_box(net.forward_into(black_box(&input), &mut ws).unwrap());
+    });
+    let single_speedup = naive_ns / blocked_ns;
+    println!(
+        "infer/single_mlp128   blocked {blocked_ns:.0} ns vs naive {naive_ns:.0} ns \
+         ({single_speedup:.1}x)"
+    );
+    assert!(
+        single_speedup >= 2.0,
+        "blocked single-sample forward must be at least 2x the naive oracle, \
+         got {single_speedup:.2}x ({blocked_ns:.0} ns vs {naive_ns:.0} ns)"
+    );
+
+    let batch_iters = if quick() { 7 } else { 21 };
+    let big = network(BATCH_CHANNELS);
+    let inputs = batch(BATCH_CHANNELS as usize, BATCH_SAMPLES);
+    let threads = default_threads();
+    black_box(big.forward_batch(&inputs, threads).unwrap());
+    let serial_ns = median_ns(batch_iters, || {
+        black_box(
+            big.forward_batch(black_box(&inputs), NonZeroUsize::MIN)
+                .unwrap(),
+        );
+    });
+    let pooled_ns = median_ns(batch_iters, || {
+        black_box(big.forward_batch(black_box(&inputs), threads).unwrap());
+    });
+    let batch_speedup = serial_ns / pooled_ns;
+    println!(
+        "infer/batch_mlp256x48 pooled {:.2} ms vs serial {:.2} ms ({batch_speedup:.1}x on \
+         {threads} threads)",
+        pooled_ns / 1e6,
+        serial_ns / 1e6,
+    );
+    if threads.get() >= 2 {
+        assert!(
+            batch_speedup >= 1.2,
+            "batched forward must scale with threads ({threads} available), \
+             got {batch_speedup:.2}x"
+        );
+    }
+
+    write_artifact(&format!(
+        "{{\n  \"bench\": \"infer\",\n  \"quick\": {},\n  \"single_sample\": {{\n    \
+         \"model\": \"mlp\",\n    \"channels\": {BASE_CHANNELS},\n    \
+         \"naive_ns_per_forward\": {naive_ns:.0},\n    \
+         \"blocked_ns_per_forward\": {blocked_ns:.0},\n    \
+         \"speedup\": {single_speedup:.3}\n  }},\n  \"batch\": {{\n    \
+         \"model\": \"mlp\",\n    \"channels\": {BATCH_CHANNELS},\n    \
+         \"samples\": {BATCH_SAMPLES},\n    \"threads\": {},\n    \
+         \"serial_ns_per_batch\": {serial_ns:.0},\n    \
+         \"pooled_ns_per_batch\": {pooled_ns:.0},\n    \
+         \"speedup\": {batch_speedup:.3}\n  }}\n}}\n",
+        quick(),
+        threads.get(),
+    ));
+}
+
+/// Writes `BENCH_infer.json` under the repository's `results/bench/`.
+fn write_artifact(json: &str) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results/bench");
+    std::fs::create_dir_all(&dir).expect("results/bench is creatable");
+    let path = dir.join("BENCH_infer.json");
+    std::fs::write(&path, json).expect("BENCH_infer.json is writable");
+    println!("wrote {}", path.display());
+}
+
+criterion_group!(
+    benches,
+    bench_single_sample,
+    bench_batch,
+    report_infer_acceptance
+);
+criterion_main!(benches);

@@ -21,6 +21,8 @@
 //! * [`dataflow`] — communication- vs. computation-centric pipelines.
 //! * [`geometry`] — channel pitch and neuron-coverage metrics.
 //! * [`explore`] — design-space candidates and Pareto frontiers.
+//! * [`pool`] — deterministic scoped-thread fan-out primitives shared
+//!   by the sweep engine, batched DNN inference, and Monte-Carlo BER.
 //! * [`sweep`] — the parallel batched sweep engine driving Figs. 5–7
 //!   and 10 and the `explore` experiment.
 //!
@@ -51,6 +53,7 @@ pub mod dataflow;
 mod error;
 pub mod explore;
 pub mod geometry;
+pub mod pool;
 pub mod regimes;
 pub mod scaling;
 pub mod soc;
@@ -64,6 +67,7 @@ pub use error::{CoreError, Result};
 pub mod prelude {
     pub use crate::budget::{check_safety, power_budget, SAFE_POWER_DENSITY};
     pub use crate::dataflow::Dataflow;
+    pub use crate::pool::{default_threads, par_map, par_map_init};
     pub use crate::regimes::{ScalingRegime, SplitDesign};
     pub use crate::scaling::{scale_to_channels, scale_to_standard, ScaledSoc};
     pub use crate::soc::{

@@ -1,0 +1,211 @@
+//! Deterministic fan-out primitives shared across the workspace.
+//!
+//! Every parallel path in the reproduction — the design-space sweep
+//! engine ([`crate::sweep`]), batched DNN inference
+//! (`mindful_dnn::infer::Network::forward_batch`), and block-sampled
+//! Monte-Carlo BER measurement (`mindful_rf::modem`) — fans work out
+//! through the same two primitives:
+//!
+//! * [`par_map`] — map a function over a slice on `n` scoped threads,
+//!   preserving input order.
+//! * [`par_map_init`] — the same, but each worker first builds private
+//!   mutable state (a scratch workspace, an RNG, a reusable buffer)
+//!   that is threaded through its items. This is what makes
+//!   zero-allocation batched inference possible: one workspace per
+//!   worker, not one per sample.
+//!
+//! Both primitives split the input into contiguous chunks, one per
+//! worker, and write results into pre-assigned slots, so the output
+//! order — and therefore everything derived from it — is independent of
+//! the worker count and of scheduling. With one thread (or at most one
+//! item) no workers are spawned at all.
+//!
+//! Worker count defaults to the machine's available parallelism and can
+//! be pinned with the `MINDFUL_SWEEP_THREADS` environment variable
+//! (values are clamped to `[1, 256]`; unparsable values fall back to
+//! the default). The variable predates this module — it is named after
+//! the sweep engine that introduced it — and governs every consumer of
+//! [`default_threads`].
+
+use std::num::NonZeroUsize;
+
+/// Environment variable that pins the worker count for every consumer
+/// of [`default_threads`] (historically named after the sweep engine).
+pub const SWEEP_THREADS_ENV: &str = "MINDFUL_SWEEP_THREADS";
+
+/// Upper bound on the worker count (env values are clamped to it).
+pub const MAX_SWEEP_THREADS: usize = 256;
+
+/// Resolves the default worker count for parallel fan-outs.
+///
+/// Honors [`SWEEP_THREADS_ENV`] when set to a positive integer
+/// (clamped to [`MAX_SWEEP_THREADS`]); otherwise uses the machine's
+/// available parallelism, falling back to 1 if that cannot be queried.
+#[must_use]
+pub fn default_threads() -> NonZeroUsize {
+    if let Ok(raw) = std::env::var(SWEEP_THREADS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if let Some(n) = NonZeroUsize::new(n.min(MAX_SWEEP_THREADS)) {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads,
+/// returning outputs in input order.
+///
+/// The slice is split into contiguous chunks, one per worker; each
+/// worker writes its outputs into the matching slots of the result
+/// vector, so the output order is independent of scheduling. `f`
+/// receives the item's index alongside the item. With one thread (or
+/// one item) no workers are spawned at all.
+pub fn par_map<I, T, F>(items: &[I], threads: NonZeroUsize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    par_map_init(items, threads, || (), |(), i, x| f(i, x))
+}
+
+/// [`par_map`] with per-worker mutable state.
+///
+/// Each worker calls `init` exactly once before processing its chunk
+/// and threads the resulting state through every item it owns — the
+/// shape needed for reusable scratch buffers (e.g. an inference
+/// workspace) that must not be shared across threads nor rebuilt per
+/// item. On the serial path (one thread or at most one item) `init` is
+/// called once overall.
+///
+/// Results come back in input order for any worker count; the state is
+/// deterministically partitioned (worker `w` owns the `w`-th contiguous
+/// chunk), so any state-dependent output is reproducible too.
+pub fn par_map_init<I, T, S, G, F>(items: &[I], threads: NonZeroUsize, init: G, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &I) -> T + Sync,
+{
+    let n = items.len();
+    let workers = threads.get().min(n);
+    if workers <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| f(&mut state, i, x))
+            .collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let init = &init;
+        for (ci, (in_chunk, out_chunk)) in
+            items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        {
+            let base = ci * chunk;
+            scope.spawn(move || {
+                let mut state = init();
+                for (j, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
+                    *slot = Some(f(&mut state, base + j, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every slot is written by exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn threads(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 3).collect();
+        for workers in [1, 2, 3, 8, 64, 200] {
+            let got = par_map(&items, threads(workers), |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(got, expect, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, threads(8), |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7_u32], threads(8), |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_init_builds_one_state_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<u32> = (0..64).collect();
+        for workers in [1, 2, 4, 16] {
+            let inits = AtomicUsize::new(0);
+            let got = par_map_init(
+                &items,
+                threads(workers),
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::<u32>::new()
+                },
+                |scratch, _, &x| {
+                    scratch.push(x);
+                    x + scratch.len() as u32 - scratch.len() as u32 + 1
+                },
+            );
+            let expect: Vec<u32> = items.iter().map(|x| x + 1).collect();
+            assert_eq!(got, expect, "{workers} workers");
+            assert!(
+                inits.load(Ordering::Relaxed) <= workers.min(items.len()),
+                "at most one init per worker"
+            );
+            assert!(inits.load(Ordering::Relaxed) >= 1);
+        }
+    }
+
+    #[test]
+    fn par_map_init_state_is_chunk_local() {
+        // Each worker's state sees exactly its contiguous chunk, so a
+        // stateful fold over the chunk is deterministic per slot.
+        let items: Vec<u64> = (0..40).collect();
+        let serial = par_map_init(
+            &items,
+            threads(1),
+            || 0_u64,
+            |acc, i, &x| {
+                *acc += x;
+                (i as u64, x)
+            },
+        );
+        let parallel = par_map_init(
+            &items,
+            threads(4),
+            || 0_u64,
+            |acc, i, &x| {
+                *acc += x;
+                (i as u64, x)
+            },
+        );
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn default_threads_is_at_least_one() {
+        assert!(default_threads().get() >= 1);
+    }
+}

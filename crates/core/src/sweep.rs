@@ -10,8 +10,11 @@
 //!
 //! Three layers are exposed:
 //!
-//! * [`par_map`] — the generic deterministic fan-out primitive: map a
-//!   function over a slice on `n` scoped threads, preserving order.
+//! * [`crate::pool::par_map`] — the generic deterministic fan-out
+//!   primitive (re-exported here as [`par_map`] for compatibility):
+//!   map a function over a slice on `n` scoped threads, preserving
+//!   order. The sweep engine shares it with batched DNN inference and
+//!   the block-sampled Monte-Carlo BER path.
 //! * [`SweepGrid::map`] / [`SweepGrid::map_with_threads`] — enumerate
 //!   the grid and apply an arbitrary per-cell function (used by the
 //!   RF- and DNN-aware experiment sweeps, which bring their own
@@ -24,7 +27,7 @@
 //! Worker count defaults to the machine's available parallelism and can
 //! be pinned with the `MINDFUL_SWEEP_THREADS` environment variable
 //! (values are clamped to `[1, 256]`; unparsable values fall back to
-//! the default).
+//! the default). See [`crate::pool`] for the resolution rules.
 
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
@@ -38,67 +41,18 @@ use crate::scaling::scale_to_standard;
 use crate::soc::SocSpec;
 use crate::units::{Area, Power};
 
-/// Environment variable that pins the sweep worker count.
-pub const SWEEP_THREADS_ENV: &str = "MINDFUL_SWEEP_THREADS";
-
-/// Upper bound on the worker count (env values are clamped to it).
-pub const MAX_SWEEP_THREADS: usize = 256;
+pub use crate::pool::{par_map, MAX_SWEEP_THREADS, SWEEP_THREADS_ENV};
 
 /// Resolves the worker count for parallel sweeps.
 ///
-/// Honors [`SWEEP_THREADS_ENV`] when set to a positive integer
-/// (clamped to [`MAX_SWEEP_THREADS`]); otherwise uses the machine's
-/// available parallelism, falling back to 1 if that cannot be queried.
+/// Alias of [`crate::pool::default_threads`], kept under the name the
+/// sweep engine introduced: honors [`SWEEP_THREADS_ENV`] when set to a
+/// positive integer (clamped to [`MAX_SWEEP_THREADS`]); otherwise uses
+/// the machine's available parallelism, falling back to 1 if that
+/// cannot be queried.
 #[must_use]
 pub fn sweep_threads() -> NonZeroUsize {
-    if let Ok(raw) = std::env::var(SWEEP_THREADS_ENV) {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if let Some(n) = NonZeroUsize::new(n.min(MAX_SWEEP_THREADS)) {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
-}
-
-/// Maps `f` over `items` on up to `threads` scoped worker threads,
-/// returning outputs in input order.
-///
-/// The slice is split into contiguous chunks, one per worker; each
-/// worker writes its outputs into the matching slots of the result
-/// vector, so the output order is independent of scheduling. `f`
-/// receives the item's index alongside the item. With one thread (or
-/// one item) no workers are spawned at all.
-pub fn par_map<I, T, F>(items: &[I], threads: NonZeroUsize, f: F) -> Vec<T>
-where
-    I: Sync,
-    T: Send,
-    F: Fn(usize, &I) -> T + Sync,
-{
-    let n = items.len();
-    let workers = threads.get().min(n);
-    if workers <= 1 {
-        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
-    }
-    let chunk = n.div_ceil(workers);
-    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
-    std::thread::scope(|scope| {
-        let f = &f;
-        for (ci, (in_chunk, out_chunk)) in
-            items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
-        {
-            let base = ci * chunk;
-            scope.spawn(move || {
-                for (j, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
-                    *slot = Some(f(base + j, item));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|slot| slot.expect("every grid slot is written by exactly one worker"))
-        .collect()
+    crate::pool::default_threads()
 }
 
 /// One cell of a [`SweepGrid`], handed to per-cell functions.
@@ -696,26 +650,6 @@ mod tests {
             .efficiencies([1.0, 0.5, 0.2])
             .build()
             .unwrap()
-    }
-
-    #[test]
-    fn par_map_preserves_order_for_any_thread_count() {
-        let items: Vec<usize> = (0..97).collect();
-        let expect: Vec<usize> = items.iter().map(|x| x * 3).collect();
-        for workers in [1, 2, 3, 8, 64, 200] {
-            let got = par_map(&items, threads(workers), |i, &x| {
-                assert_eq!(i, x);
-                x * 3
-            });
-            assert_eq!(got, expect, "{workers} workers");
-        }
-    }
-
-    #[test]
-    fn par_map_handles_empty_and_single_inputs() {
-        let empty: Vec<u32> = Vec::new();
-        assert!(par_map(&empty, threads(8), |_, &x| x).is_empty());
-        assert_eq!(par_map(&[7_u32], threads(8), |_, &x| x + 1), vec![8]);
     }
 
     #[test]

@@ -1,16 +1,44 @@
 //! Forward-inference engine for the workload models.
 //!
-//! The analytic modules only count MACs; this module actually *runs* the
-//! networks in `f32`, so the end-to-end examples can decode synthetic
-//! neural data through the same architectures whose power the framework
-//! bounds. Weights are initialized deterministically (seeded, scaled
-//! uniform) — this repository models system cost, not training.
+//! The analytic modules only count MACs; this module actually *runs*
+//! the networks in `f32`, so the end-to-end examples can decode
+//! synthetic neural data through the same architectures whose power
+//! the framework bounds. Weights are initialized deterministically
+//! (seeded, scaled uniform) — this repository models system cost, not
+//! training.
+//!
+//! ## Execution engine
+//!
+//! [`Network`] executes through the blocked kernels of
+//! [`crate::kernels`] and a reusable [`Workspace`] of double buffers:
+//!
+//! * [`Network::forward_into`] runs one sample with **zero heap
+//!   allocations** once the workspace is warm — activations ping-pong
+//!   between the workspace's two arenas, dense layers use a
+//!   pre-transposed weight layout built at construction time, and the
+//!   convolution hoists its padding checks out of the MAC loop.
+//! * [`Network::forward`] keeps the original allocating signature; it
+//!   borrows a thread-local workspace, so repeated calls allocate only
+//!   the returned output vector.
+//! * [`Network::forward_batch`] fans a batch of samples over the
+//!   shared worker pool (`mindful_core::pool`), one workspace per
+//!   worker, returning outputs in input order for any thread count.
+//! * [`Network::forward_naive`] retains the original per-layer
+//!   allocating loops as a property-test oracle and benchmark
+//!   baseline, mirroring the skyline/naive pairing of the sweep
+//!   engine.
+
+use std::cell::RefCell;
+use std::num::NonZeroUsize;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use mindful_core::pool;
+
 use crate::arch::{Architecture, LayerSpec};
 use crate::error::{DnnError, Result};
+use crate::kernels;
 
 /// A network with materialized weights, ready to run.
 #[derive(Debug, Clone)]
@@ -20,6 +48,64 @@ pub struct Network {
     weights: Vec<Vec<f32>>,
     /// Per-layer bias vectors (one per produced channel/unit).
     biases: Vec<Vec<f32>>,
+    /// Transposed (`[input × output]`) copies of dense weight matrices,
+    /// pre-packed for the blocked kernel; `None` for non-dense layers.
+    dense_t: Vec<Option<Vec<f32>>>,
+    /// Widest activation (input or output) across all layers — the
+    /// arena size a [`Workspace`] needs.
+    max_width: usize,
+}
+
+thread_local! {
+    /// Per-thread scratch for the allocating [`Network::forward`]
+    /// convenience wrapper, so repeated calls reuse warm arenas.
+    static SCRATCH: RefCell<Workspace> = RefCell::new(Workspace::empty());
+}
+
+/// Reusable double-buffer arena for zero-allocation inference.
+///
+/// Holds two fixed-size scratch vectors that activations ping-pong
+/// between. Build one with [`Network::workspace`] (pre-sized, so the
+/// first forward is already allocation-free) or grow one lazily from
+/// [`Workspace::empty`]. A workspace may be reused across networks;
+/// it grows to the largest activation width it has seen and never
+/// shrinks.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    a: Vec<f32>,
+    b: Vec<f32>,
+}
+
+impl Workspace {
+    /// An empty workspace; arenas grow on first use.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sized workspace for activations up to `width` values.
+    #[must_use]
+    pub fn with_width(width: usize) -> Self {
+        Self {
+            a: vec![0.0; width],
+            b: vec![0.0; width],
+        }
+    }
+
+    /// The current arena width in values.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Grows both arenas to at least `width` (no-op when already wide
+    /// enough — the warm path).
+    fn ensure(&mut self, width: usize) {
+        if self.a.len() < width {
+            self.a.resize(width, 0.0);
+            self.b.resize(width, 0.0);
+        }
+    }
 }
 
 impl Network {
@@ -27,8 +113,8 @@ impl Network {
     #[must_use]
     pub fn with_seeded_weights(arch: Architecture, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut weights = Vec::with_capacity(arch.len());
-        let mut biases = Vec::with_capacity(arch.len());
+        let mut weights: Vec<Vec<f32>> = Vec::with_capacity(arch.len());
+        let mut biases: Vec<Vec<f32>> = Vec::with_capacity(arch.len());
         for layer in arch.layers() {
             let count = layer.weights() as usize;
             let fan_in = fan_in(layer) as f32;
@@ -40,10 +126,31 @@ impl Network {
             );
             biases.push(vec![0.01; produced_channels(layer) as usize]);
         }
+        let dense_t = arch
+            .layers()
+            .iter()
+            .zip(&weights)
+            .map(|(layer, w)| match *layer {
+                LayerSpec::Dense { inputs, outputs } => Some(kernels::transpose_dense(
+                    w,
+                    inputs as usize,
+                    outputs as usize,
+                )),
+                _ => None,
+            })
+            .collect();
+        let max_width = arch
+            .layers()
+            .iter()
+            .flat_map(|l| [l.input_values() as usize, l.output_values() as usize])
+            .max()
+            .unwrap_or(0);
         Self {
             arch,
             weights,
             biases,
+            dense_t,
+            max_width,
         }
     }
 
@@ -75,10 +182,20 @@ impl Network {
     }
 
     /// Total stored parameters (weights + biases).
+    ///
+    /// Pre-packed dense layouts are copies, not extra parameters, and
+    /// are not counted.
     #[must_use]
     pub fn parameter_count(&self) -> usize {
         self.weights.iter().map(Vec::len).sum::<usize>()
             + self.biases.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// A [`Workspace`] pre-sized for this network, so even the first
+    /// [`Network::forward_into`] call is allocation-free.
+    #[must_use]
+    pub fn workspace(&self) -> Workspace {
+        Workspace::with_width(self.max_width)
     }
 
     /// Runs the network on a flattened input of
@@ -87,20 +204,95 @@ impl Network {
     /// ReLU is applied after every layer except the last (the label
     /// layer is linear, as in regression-style speech synthesis).
     ///
+    /// Executes the blocked kernels through a thread-local workspace:
+    /// after the workspace has warmed up, the only heap allocation per
+    /// call is the returned output vector.
+    ///
     /// # Errors
     ///
     /// Returns [`DnnError::ShapeMismatch`] for a wrong input width.
     pub fn forward(&self, input: &[f32]) -> Result<Vec<f32>> {
-        if input.len() as u64 != self.arch.input_values() {
-            return Err(DnnError::ShapeMismatch {
-                expected: self.arch.input_values() as usize,
-                actual: input.len(),
-            });
+        SCRATCH.with(|ws| {
+            let mut ws = ws.borrow_mut();
+            self.forward_into(input, &mut ws).map(<[f32]>::to_vec)
+        })
+    }
+
+    /// [`Network::forward`] into a caller-provided workspace: zero heap
+    /// allocations once `workspace` is warm (see [`Network::workspace`]).
+    ///
+    /// The returned slice borrows the workspace and is valid until its
+    /// next use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] for a wrong input width.
+    pub fn forward_into<'w>(
+        &self,
+        input: &[f32],
+        workspace: &'w mut Workspace,
+    ) -> Result<&'w [f32]> {
+        self.check_input(input)?;
+        Ok(self.run_layers(input, self.arch.len(), false, workspace))
+    }
+
+    /// Runs the network on a batch of samples, fanned over up to
+    /// `threads` workers from the shared pool
+    /// (`mindful_core::pool::par_map_init`), one warm workspace per
+    /// worker.
+    ///
+    /// Outputs come back in input order and are bit-identical to
+    /// per-sample [`Network::forward`] calls for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] if any sample has the wrong
+    /// width (checked up front, so the error names the first offending
+    /// sample deterministically).
+    pub fn forward_batch<S>(&self, inputs: &[S], threads: NonZeroUsize) -> Result<Vec<Vec<f32>>>
+    where
+        S: AsRef<[f32]> + Sync,
+    {
+        for sample in inputs {
+            self.check_input(sample.as_ref())?;
         }
+        Ok(pool::par_map_init(
+            inputs,
+            threads,
+            || self.workspace(),
+            |ws, _, sample| {
+                self.run_layers(sample.as_ref(), self.arch.len(), false, ws)
+                    .to_vec()
+            },
+        ))
+    }
+
+    /// [`Network::forward_batch`] with the pool's default worker count
+    /// (`MINDFUL_SWEEP_THREADS` or the machine's parallelism).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::forward_batch`].
+    pub fn forward_batch_auto<S>(&self, inputs: &[S]) -> Result<Vec<Vec<f32>>>
+    where
+        S: AsRef<[f32]> + Sync,
+    {
+        self.forward_batch(inputs, pool::default_threads())
+    }
+
+    /// The original naive forward pass: per-layer allocating loops with
+    /// per-MAC padding checks. Retained as the property-test oracle and
+    /// benchmark baseline for the blocked engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] for a wrong input width.
+    pub fn forward_naive(&self, input: &[f32]) -> Result<Vec<f32>> {
+        self.check_input(input)?;
         let mut activation = input.to_vec();
         let last = self.arch.len() - 1;
         for (idx, layer) in self.arch.layers().iter().enumerate() {
-            let raw = apply_layer(layer, &activation, &self.weights[idx], &self.biases[idx]);
+            let raw = apply_layer_naive(layer, &activation, &self.weights[idx], &self.biases[idx]);
             activation = if idx == last {
                 raw
             } else {
@@ -113,6 +305,10 @@ impl Network {
     /// Runs the network on the on-implant prefix only, returning the
     /// intermediate activations a partitioned deployment would transmit.
     ///
+    /// ReLU follows every executed layer except when the prefix is the
+    /// whole network (`keep == len`): then the final layer stays linear
+    /// and the result equals [`Network::forward`].
+    ///
     /// # Errors
     ///
     /// Returns [`DnnError::EmptyDimension`] for an invalid prefix length
@@ -121,19 +317,111 @@ impl Network {
         if keep == 0 || keep > self.arch.len() {
             return Err(DnnError::EmptyDimension { name: "keep" });
         }
+        self.check_input(input)?;
+        let relu_last = keep < self.arch.len();
+        SCRATCH.with(|ws| {
+            let mut ws = ws.borrow_mut();
+            Ok(self.run_layers(input, keep, relu_last, &mut ws).to_vec())
+        })
+    }
+
+    fn check_input(&self, input: &[f32]) -> Result<()> {
         if input.len() as u64 != self.arch.input_values() {
             return Err(DnnError::ShapeMismatch {
                 expected: self.arch.input_values() as usize,
                 actual: input.len(),
             });
         }
-        let mut activation = input.to_vec();
+        Ok(())
+    }
+
+    /// Executes the first `keep` layers through the blocked kernels.
+    /// ReLU follows every layer but the last; `relu_last` extends it to
+    /// the last executed layer (the partitioned-prefix semantics).
+    fn run_layers<'w>(
+        &self,
+        input: &[f32],
+        keep: usize,
+        relu_last: bool,
+        workspace: &'w mut Workspace,
+    ) -> &'w [f32] {
+        workspace.ensure(self.max_width.max(input.len()));
+        let Workspace { a, b } = workspace;
+        let (mut cur, mut nxt) = (a, b);
+        cur[..input.len()].copy_from_slice(input);
+        let mut width = input.len();
         for idx in 0..keep {
             let layer = &self.arch.layers()[idx];
-            let raw = apply_layer(layer, &activation, &self.weights[idx], &self.biases[idx]);
-            activation = raw.into_iter().map(|v| v.max(0.0)).collect();
+            let out_width = layer.output_values() as usize;
+            self.apply_layer_blocked(idx, layer, &cur[..width], &mut nxt[..out_width]);
+            if idx + 1 < keep || relu_last {
+                for v in &mut nxt[..out_width] {
+                    *v = v.max(0.0);
+                }
+            }
+            core::mem::swap(&mut cur, &mut nxt);
+            width = out_width;
         }
-        Ok(activation)
+        &cur[..width]
+    }
+
+    /// Dispatches one layer to its blocked kernel, writing into `out`.
+    fn apply_layer_blocked(&self, idx: usize, layer: &LayerSpec, input: &[f32], out: &mut [f32]) {
+        let (weights, bias) = (&self.weights[idx], &self.biases[idx]);
+        match *layer {
+            LayerSpec::Dense { .. } => {
+                let packed = self.dense_t[idx]
+                    .as_deref()
+                    .expect("dense layers pack a transposed layout at construction");
+                kernels::dense_into(input, packed, bias, out);
+            }
+            LayerSpec::Conv1d {
+                in_channels,
+                out_channels,
+                kernel,
+                positions,
+            } => kernels::conv1d_into(
+                input,
+                weights,
+                bias,
+                in_channels as usize,
+                out_channels as usize,
+                kernel as usize,
+                positions as usize,
+                out,
+            ),
+            LayerSpec::DenseConv1d {
+                in_channels,
+                growth,
+                kernel,
+                positions,
+            } => {
+                // Concatenation: passthrough channels first, then the
+                // newly computed features — both straight into `out`.
+                out[..input.len()].copy_from_slice(input);
+                kernels::conv1d_into(
+                    input,
+                    weights,
+                    bias,
+                    in_channels as usize,
+                    growth as usize,
+                    kernel as usize,
+                    positions as usize,
+                    &mut out[input.len()..],
+                );
+            }
+            LayerSpec::Pool1d {
+                channels,
+                in_positions,
+                out_positions,
+            } => kernels::pool1d_into(
+                input,
+                channels as usize,
+                in_positions as usize,
+                out_positions as usize,
+                out,
+            ),
+        }
     }
 }
 
@@ -169,25 +457,20 @@ fn produced_channels(layer: &LayerSpec) -> u64 {
     }
 }
 
-/// Applies one layer. Activations are channel-major (`ch · positions +
-/// pos`) for convolutional layers and flat vectors for dense layers.
-fn apply_layer(layer: &LayerSpec, input: &[f32], weights: &[f32], bias: &[f32]) -> Vec<f32> {
+/// Applies one layer with the naive oracle kernels. Activations are
+/// channel-major (`ch · positions + pos`) for convolutional layers and
+/// flat vectors for dense layers.
+fn apply_layer_naive(layer: &LayerSpec, input: &[f32], weights: &[f32], bias: &[f32]) -> Vec<f32> {
     match *layer {
-        LayerSpec::Dense { inputs, outputs } => {
-            let inputs = inputs as usize;
-            (0..outputs as usize)
-                .map(|j| {
-                    let row = &weights[j * inputs..(j + 1) * inputs];
-                    bias[j] + row.iter().zip(input).map(|(w, x)| w * x).sum::<f32>()
-                })
-                .collect()
+        LayerSpec::Dense { outputs, .. } => {
+            kernels::dense_naive(input, weights, bias, outputs as usize)
         }
         LayerSpec::Conv1d {
             in_channels,
             out_channels,
             kernel,
             positions,
-        } => conv1d(
+        } => kernels::conv1d_naive(
             input,
             weights,
             bias,
@@ -202,7 +485,7 @@ fn apply_layer(layer: &LayerSpec, input: &[f32], weights: &[f32], bias: &[f32]) 
             kernel,
             positions,
         } => {
-            let new = conv1d(
+            let new = kernels::conv1d_naive(
                 input,
                 weights,
                 bias,
@@ -222,54 +505,17 @@ fn apply_layer(layer: &LayerSpec, input: &[f32], weights: &[f32], bias: &[f32]) 
             in_positions,
             out_positions,
         } => {
-            let (channels, inp, outp) = (
+            let mut out = vec![0.0_f32; (channels * out_positions) as usize];
+            kernels::pool1d_into(
+                input,
                 channels as usize,
                 in_positions as usize,
                 out_positions as usize,
+                &mut out,
             );
-            let window = inp / outp;
-            let mut out = vec![0.0_f32; channels * outp];
-            for c in 0..channels {
-                for q in 0..outp {
-                    let start = c * inp + q * window;
-                    let sum: f32 = input[start..start + window].iter().sum();
-                    out[c * outp + q] = sum / window as f32;
-                }
-            }
             out
         }
     }
-}
-
-/// Same-padded 1-D convolution, channel-major layout.
-fn conv1d(
-    input: &[f32],
-    weights: &[f32],
-    bias: &[f32],
-    in_channels: usize,
-    out_channels: usize,
-    kernel: usize,
-    positions: usize,
-) -> Vec<f32> {
-    let half = kernel / 2;
-    let mut out = vec![0.0_f32; out_channels * positions];
-    for oc in 0..out_channels {
-        for p in 0..positions {
-            let mut acc = bias[oc];
-            for ic in 0..in_channels {
-                for j in 0..kernel {
-                    let src = p + j;
-                    if src < half || src - half >= positions {
-                        continue;
-                    }
-                    let w = weights[(oc * in_channels + ic) * kernel + j];
-                    acc += w * input[ic * positions + (src - half)];
-                }
-            }
-            out[oc * positions + p] = acc;
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -318,6 +564,73 @@ mod tests {
     }
 
     #[test]
+    fn blocked_forward_matches_naive_oracle() {
+        for family in ModelFamily::ALL {
+            let arch = family.architecture(BASE_CHANNELS).unwrap();
+            let net = Network::with_seeded_weights(arch, 5);
+            let width = net.architecture().input_values() as usize;
+            let input: Vec<f32> = (0..width).map(|i| ((i % 17) as f32 - 8.0) / 8.0).collect();
+            let fast = net.forward(&input).unwrap();
+            let naive = net.forward_naive(&input).unwrap();
+            assert_eq!(fast.len(), naive.len());
+            for (i, (a, b)) in fast.iter().zip(&naive).enumerate() {
+                let tol = 1e-4 * a.abs().max(b.abs()).max(1.0);
+                assert!((a - b).abs() <= tol, "{family} output {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_into_reuses_the_workspace() {
+        let arch = ModelFamily::Mlp.architecture(BASE_CHANNELS).unwrap();
+        let net = Network::with_seeded_weights(arch, 11);
+        let mut ws = net.workspace();
+        let input = vec![0.3_f32; 128];
+        let first = net.forward_into(&input, &mut ws).unwrap().to_vec();
+        let second = net.forward_into(&input, &mut ws).unwrap().to_vec();
+        assert_eq!(first, second);
+        assert_eq!(first, net.forward(&input).unwrap());
+        // An empty workspace grows on demand and then agrees too.
+        let mut cold = Workspace::empty();
+        assert_eq!(cold.width(), 0);
+        assert_eq!(net.forward_into(&input, &mut cold).unwrap(), &first[..]);
+        assert!(cold.width() >= 128);
+    }
+
+    #[test]
+    fn forward_batch_matches_mapped_forward() {
+        let arch = ModelFamily::Mlp.architecture(BASE_CHANNELS).unwrap();
+        let net = Network::with_seeded_weights(arch, 21);
+        let batch: Vec<Vec<f32>> = (0..7)
+            .map(|s| (0..128).map(|i| ((i + s) as f32).sin()).collect())
+            .collect();
+        let expect: Vec<Vec<f32>> = batch.iter().map(|x| net.forward(x).unwrap()).collect();
+        for workers in [1_usize, 2, 3, 8] {
+            let got = net
+                .forward_batch(&batch, NonZeroUsize::new(workers).unwrap())
+                .unwrap();
+            assert_eq!(got, expect, "{workers} workers");
+        }
+        assert_eq!(net.forward_batch_auto(&batch).unwrap(), expect);
+        let empty: Vec<Vec<f32>> = Vec::new();
+        assert!(net.forward_batch_auto(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn forward_batch_rejects_any_bad_sample() {
+        let arch = ModelFamily::Mlp.architecture(BASE_CHANNELS).unwrap();
+        let net = Network::with_seeded_weights(arch, 2);
+        let batch = vec![vec![0.0_f32; 128], vec![0.0_f32; 127]];
+        assert!(matches!(
+            net.forward_batch_auto(&batch),
+            Err(DnnError::ShapeMismatch {
+                expected: 128,
+                actual: 127
+            })
+        ));
+    }
+
+    #[test]
     fn prefix_matches_manual_truncation() {
         let arch = ModelFamily::Mlp.architecture(BASE_CHANNELS).unwrap();
         let net = Network::with_seeded_weights(arch.clone(), 9);
@@ -325,6 +638,26 @@ mod tests {
         let mid = net.forward_prefix(&input, 2).unwrap();
         assert_eq!(mid.len() as u64, arch.layers()[1].output_values());
         assert!(mid.iter().all(|&v| v >= 0.0), "prefix output is post-ReLU");
+    }
+
+    #[test]
+    fn full_prefix_equals_forward() {
+        // Regression: the whole-network "prefix" must not ReLU the
+        // final linear layer.
+        for family in ModelFamily::ALL {
+            let arch = family.architecture(BASE_CHANNELS).unwrap();
+            let net = Network::with_seeded_weights(arch.clone(), 13);
+            let width = arch.input_values() as usize;
+            let input: Vec<f32> = (0..width).map(|i| ((i as f32) * 0.37).cos()).collect();
+            let full = net.forward(&input).unwrap();
+            let prefix = net.forward_prefix(&input, arch.len()).unwrap();
+            assert_eq!(full, prefix, "{family}");
+            assert!(
+                full.iter().any(|&v| v < 0.0),
+                "{family}: a linear label layer should produce some negative \
+                 outputs for this input (otherwise the regression is vacuous)"
+            );
+        }
     }
 
     #[test]
@@ -338,6 +671,7 @@ mod tests {
                 actual: 127
             })
         ));
+        assert!(net.forward_naive(&vec![0.0; 127]).is_err());
         assert!(net.forward_prefix(&vec![0.0; 128], 0).is_err());
         assert!(net.forward_prefix(&vec![0.0; 128], 99).is_err());
     }
@@ -350,31 +684,5 @@ mod tests {
         assert!(net.parameter_count() >= weights);
         // Biases are small relative to weights.
         assert!(net.parameter_count() < weights + weights / 10 + 10_000);
-    }
-
-    #[test]
-    fn pooling_averages_windows() {
-        let layer = LayerSpec::Pool1d {
-            channels: 2,
-            in_positions: 4,
-            out_positions: 2,
-        };
-        let input = [1.0, 3.0, 5.0, 7.0, 10.0, 20.0, 30.0, 40.0];
-        let out = apply_layer(&layer, &input, &[], &[]);
-        assert_eq!(out, vec![2.0, 6.0, 15.0, 35.0]);
-    }
-
-    #[test]
-    fn conv_identity_kernel_passes_through() {
-        // A single-channel conv with kernel [0, 1, 0] is identity.
-        let out = conv1d(&[1.0, 2.0, 3.0, 4.0], &[0.0, 1.0, 0.0], &[0.0], 1, 1, 3, 4);
-        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0]);
-    }
-
-    #[test]
-    fn conv_edges_are_zero_padded() {
-        // Kernel [1, 0, 0] shifts left ... check padding behaviour.
-        let out = conv1d(&[1.0, 2.0, 3.0, 4.0], &[1.0, 0.0, 0.0], &[0.0], 1, 1, 3, 4);
-        assert_eq!(out, vec![0.0, 1.0, 2.0, 3.0]);
     }
 }

@@ -29,6 +29,7 @@ pub mod arch;
 mod error;
 pub mod infer;
 pub mod integration;
+pub mod kernels;
 pub mod models;
 pub mod partition;
 pub mod quant;
@@ -39,7 +40,7 @@ pub use error::{DnnError, Result};
 /// Convenient glob-import of the most used items.
 pub mod prelude {
     pub use crate::arch::{Architecture, LayerSpec};
-    pub use crate::infer::Network;
+    pub use crate::infer::{Network, Workspace};
     pub use crate::integration::{
         evaluate, evaluate_full, max_active_channels, max_channels, IntegrationConfig,
         IntegrationPoint,

@@ -1,0 +1,99 @@
+//! Proof of the zero-allocation contract: after workspace warm-up, a
+//! full `forward_into` pass performs no heap allocations at all.
+//!
+//! A counting wrapper around the system allocator tracks every
+//! allocation on this thread; the lib crate itself stays
+//! `#![forbid(unsafe_code)]` — only this test harness installs the
+//! instrumented allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use mindful_dnn::infer::Network;
+use mindful_dnn::models::{ModelFamily, BASE_CHANNELS};
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The counter is process-global, so tests that measure it must not
+/// run concurrently with tests that allocate.
+static MEASURE: Mutex<()> = Mutex::new(());
+
+/// Allocations performed while running `f`.
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn forward_into_is_allocation_free_after_warmup() {
+    let _guard = MEASURE.lock().unwrap();
+    for family in ModelFamily::ALL {
+        let arch = family.architecture(BASE_CHANNELS).unwrap();
+        let net = Network::with_seeded_weights(arch, 7);
+        let width = net.architecture().input_values() as usize;
+        let input: Vec<f32> = (0..width).map(|i| (i as f32 * 0.013).sin()).collect();
+
+        let mut ws = net.workspace();
+        // Warm-up: first pass may touch fresh pages but must not grow
+        // the pre-sized workspace.
+        let expected = net.forward_into(&input, &mut ws).unwrap().to_vec();
+
+        let allocs = allocations_during(|| {
+            for _ in 0..32 {
+                let result = net.forward_into(&input, &mut ws).unwrap();
+                assert_eq!(result.len(), expected.len());
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "{family}: forward_into must not allocate after warm-up"
+        );
+
+        // Sanity: the warm path still computes the right answer.
+        assert_eq!(net.forward_into(&input, &mut ws).unwrap(), &expected[..]);
+    }
+}
+
+#[test]
+fn cold_workspace_allocates_only_during_growth() {
+    let _guard = MEASURE.lock().unwrap();
+    let arch = ModelFamily::Mlp.architecture(BASE_CHANNELS).unwrap();
+    let net = Network::with_seeded_weights(arch, 3);
+    let input = vec![0.25_f32; BASE_CHANNELS as usize];
+
+    let mut ws = mindful_dnn::infer::Workspace::empty();
+    let cold = allocations_during(|| {
+        net.forward_into(&input, &mut ws).unwrap();
+    });
+    assert!(cold > 0, "growing an empty workspace must allocate");
+
+    let warm = allocations_during(|| {
+        net.forward_into(&input, &mut ws).unwrap();
+    });
+    assert_eq!(warm, 0, "the second pass reuses the grown arenas");
+}

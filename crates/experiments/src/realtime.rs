@@ -6,15 +6,26 @@
 //! decoded output on each SoC — input window + on-implant inference +
 //! wireless transmission — and compares it against the ~0.18 s brain
 //! reaction time used as the real-time bar by MasterMind-style systems.
+//!
+//! Alongside the analytic breakdown, the study *runs* each decoder: the
+//! `f32` inference engine executes a batch of synthetic frames through
+//! `Network::forward_batch` on the shared worker pool, giving a
+//! measured host-side throughput to set beside the modeled on-implant
+//! latency.
 
 use std::path::Path;
+use std::time::Instant;
 
 use mindful_accel::alloc::best_allocation;
+use mindful_core::pool::default_threads;
 use mindful_core::regimes::standard_split_designs;
 use mindful_core::throughput::sensing_throughput;
 use mindful_core::units::TimeSpan;
+use mindful_dnn::infer::Network;
 use mindful_dnn::integration::IntegrationConfig;
-use mindful_dnn::models::{ModelFamily, APPLICATION_RATE, CNN_WINDOW, OUTPUT_LABELS};
+use mindful_dnn::models::{
+    ModelFamily, APPLICATION_RATE, BASE_CHANNELS, CNN_WINDOW, OUTPUT_LABELS,
+};
 use mindful_plot::{AsciiTable, Csv};
 
 use crate::error::Result;
@@ -55,11 +66,38 @@ impl LatencyBreakdown {
     }
 }
 
+/// Measured batched-inference throughput for one model family, from
+/// actually executing the network on the shared worker pool.
+#[derive(Debug, Clone)]
+pub struct MeasuredThroughput {
+    /// Model family.
+    pub family: ModelFamily,
+    /// Samples in the measured batch.
+    pub batch: usize,
+    /// Worker threads used by `forward_batch`.
+    pub threads: usize,
+    /// Measured wall time per sample.
+    pub per_sample: TimeSpan,
+    /// Whether the batched outputs matched per-sample `forward` calls
+    /// exactly (they must — same kernels, same workspaces).
+    pub consistent: bool,
+}
+
+impl MeasuredThroughput {
+    /// Achieved decoding rate in samples per second.
+    #[must_use]
+    pub fn samples_per_second(&self) -> f64 {
+        1.0 / self.per_sample.seconds()
+    }
+}
+
 /// The generated study.
 #[derive(Debug, Clone)]
 pub struct Realtime {
     /// One row per SoC × model that admits a real-time MAC allocation.
     pub rows: Vec<LatencyBreakdown>,
+    /// Measured host-side batched-inference throughput per family.
+    pub measured: Vec<MeasuredThroughput>,
 }
 
 /// Computes latency breakdowns for SoCs 1–8 at 1024 channels.
@@ -99,7 +137,48 @@ pub fn generate() -> Result<Realtime> {
             });
         }
     }
-    Ok(Realtime { rows })
+    Ok(Realtime {
+        rows,
+        measured: measure_throughput()?,
+    })
+}
+
+/// Runs each decoder family at the 128-channel base scale on a batch of
+/// synthetic frames through `forward_batch` and times it.
+fn measure_throughput() -> Result<Vec<MeasuredThroughput>> {
+    const BATCH: usize = 16;
+    let threads = default_threads();
+    let mut measured = Vec::new();
+    for family in ModelFamily::ALL {
+        let arch = family.architecture(BASE_CHANNELS)?;
+        let net = Network::with_seeded_weights(arch, 7);
+        let width = net.architecture().input_values() as usize;
+        let frames: Vec<Vec<f32>> = (0..BATCH)
+            .map(|s| {
+                (0..width)
+                    .map(|i| ((i + 31 * s) as f32 * 0.013).sin())
+                    .collect()
+            })
+            .collect();
+        // Warm the pool path once, then time one full batch.
+        let outputs = net.forward_batch(&frames, threads)?;
+        let start = Instant::now();
+        let timed = net.forward_batch(&frames, threads)?;
+        let elapsed = start.elapsed();
+        let consistent = timed == outputs
+            && frames
+                .iter()
+                .zip(&timed)
+                .all(|(x, y)| net.forward(x).map(|z| z == *y).unwrap_or(false));
+        measured.push(MeasuredThroughput {
+            family,
+            batch: BATCH,
+            threads: threads.get(),
+            per_sample: TimeSpan::from_seconds(elapsed.as_secs_f64() / BATCH as f64),
+            consistent,
+        });
+    }
+    Ok(measured)
 }
 
 /// Writes the latency table and summary.
@@ -149,6 +228,38 @@ pub fn render(study: &Realtime, dir: &Path) -> Result<Artifacts> {
          (the binding constraint for implants is power, not application latency)"
     ));
     artifacts.write_file(dir, "realtime.csv", csv.as_str())?;
+
+    let mut measured_csv = Csv::new(&[
+        "model",
+        "batch",
+        "threads",
+        "us_per_sample",
+        "ksamples_per_sec",
+        "consistent",
+    ]);
+    artifacts.report(format!(
+        "\nmeasured batched inference ({} frames at {BASE_CHANNELS} channels, shared pool):",
+        study.measured.first().map_or(0, |m| m.batch)
+    ));
+    for m in &study.measured {
+        measured_csv.push(&[
+            m.family.to_string(),
+            m.batch.to_string(),
+            m.threads.to_string(),
+            format!("{:.1}", m.per_sample.microseconds()),
+            format!("{:.2}", m.samples_per_second() / 1e3),
+            m.consistent.to_string(),
+        ]);
+        artifacts.report(format!(
+            "  {}: {:.1} us/sample on {} thread(s) ({:.1}x the {:.1} kHz application rate)",
+            m.family,
+            m.per_sample.microseconds(),
+            m.threads,
+            m.samples_per_second() / APPLICATION_RATE.hertz(),
+            APPLICATION_RATE.hertz() / 1e3,
+        ));
+    }
+    artifacts.write_file(dir, "realtime_measured.csv", measured_csv.as_str())?;
     Ok(artifacts)
 }
 
@@ -191,8 +302,26 @@ mod tests {
     fn render_writes_the_table() {
         let dir = std::env::temp_dir().join("mindful-realtime-test");
         let artifacts = render(&generate().unwrap(), &dir).unwrap();
-        assert_eq!(artifacts.files().len(), 1);
+        assert_eq!(artifacts.files().len(), 2);
         assert!(artifacts.report_text().contains("reaction time"));
+        assert!(artifacts
+            .report_text()
+            .contains("measured batched inference"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn measured_throughput_runs_both_families_consistently() {
+        let study = generate().unwrap();
+        assert_eq!(study.measured.len(), ModelFamily::ALL.len());
+        for m in &study.measured {
+            assert!(m.per_sample.seconds() > 0.0, "{}", m.family);
+            assert!(m.threads >= 1);
+            assert!(
+                m.consistent,
+                "{}: batched outputs must equal per-sample forward",
+                m.family
+            );
+        }
     }
 }

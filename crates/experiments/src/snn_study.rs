@@ -11,8 +11,9 @@ use std::path::Path;
 
 use mindful_core::budget::power_budget;
 use mindful_core::regimes::{standard_split_designs, SplitDesign};
+use mindful_dnn::infer::Network;
 use mindful_dnn::integration::IntegrationConfig;
-use mindful_dnn::models::{ModelFamily, APPLICATION_RATE, OUTPUT_LABELS};
+use mindful_dnn::models::{ModelFamily, APPLICATION_RATE, BASE_CHANNELS, OUTPUT_LABELS};
 use mindful_dnn::snn::{SnnConfig, SnnNetwork};
 use mindful_plot::{AsciiTable, Csv, LineChart, Series};
 
@@ -45,6 +46,10 @@ pub struct SnnStudy {
     pub rows: Vec<SnnRow>,
     /// Break-even activity of the conversion (same for every SoC).
     pub break_even: f64,
+    /// Whether the dense MLP the conversion starts from actually ran
+    /// (batched over the shared pool) and produced finite label outputs
+    /// identical to per-sample execution.
+    pub dense_reference_ok: bool,
 }
 
 /// Total implant power with the SNN decoder at `channels`.
@@ -132,7 +137,37 @@ pub fn generate() -> Result<SnnStudy> {
         },
     )?
     .break_even_activity();
-    Ok(SnnStudy { rows, break_even })
+    Ok(SnnStudy {
+        rows,
+        break_even,
+        dense_reference_ok: dense_reference_runs()?,
+    })
+}
+
+/// Executes the rate-coded conversion's dense starting point — the MLP
+/// at the 128-channel base scale — through `forward_batch` on the
+/// shared pool and checks the outputs are finite and batch-invariant.
+fn dense_reference_runs() -> Result<bool> {
+    let arch = ModelFamily::Mlp.architecture(BASE_CHANNELS)?;
+    let net = Network::with_seeded_weights(arch, 7);
+    let width = net.architecture().input_values() as usize;
+    let frames: Vec<Vec<f32>> = (0..8)
+        .map(|s| {
+            (0..width)
+                .map(|i| ((i * 7 + s) as f32 * 0.021).cos())
+                .collect()
+        })
+        .collect();
+    let batched = net.forward_batch_auto(&frames)?;
+    let ok = batched.len() == frames.len()
+        && batched
+            .iter()
+            .all(|out| out.len() as u64 == OUTPUT_LABELS && out.iter().all(|v| v.is_finite()))
+        && frames
+            .iter()
+            .zip(&batched)
+            .all(|(x, y)| net.forward(x).map(|z| z == *y).unwrap_or(false));
+    Ok(ok)
 }
 
 /// Writes the comparison table, sweep chart, and summary.
@@ -203,6 +238,14 @@ pub fn render(study: &SnnStudy, dir: &Path) -> Result<Artifacts> {
         TIMESTEPS,
         mindful_dnn::snn::ACC_ENERGY_FRACTION * 100.0,
     ));
+    artifacts.report(format!(
+        "dense MLP reference executed (batched, {BASE_CHANNELS} channels): {}",
+        if study.dense_reference_ok {
+            "ok"
+        } else {
+            "FAILED"
+        },
+    ));
     artifacts.write_file(dir, "snn.csv", csv.as_str())?;
     artifacts.write_file(dir, "snn_power.svg", &chart.to_svg())?;
     Ok(artifacts)
@@ -248,6 +291,12 @@ mod tests {
     fn break_even_is_the_closed_form() {
         let study = generate().unwrap();
         assert!((study.break_even - 1.0 / (8.0 * 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_reference_actually_runs() {
+        let study = generate().unwrap();
+        assert!(study.dense_reference_ok);
     }
 
     #[test]

@@ -32,21 +32,31 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         spec.sample_bits(),
     );
 
-    section("2. Run the actual MLP decoder on the latest frame");
+    section("2. Run the actual MLP decoder on the recorded frames (batched)");
     let arch = ModelFamily::Mlp.architecture(channels)?;
     println!("{arch}");
     let network = Network::with_seeded_weights(arch.clone(), 7);
-    let input: Vec<f32> = frames
-        .last()
-        .expect("recorded at least one frame")
-        .samples
+    // Decode the trailing window of the trajectory in one batched call
+    // fanned over the shared worker pool.
+    let window: Vec<Vec<f32>> = frames[frames.len() - 8..]
         .iter()
-        .map(|&code| f32::from(code) / 512.0 - 1.0)
+        .map(|frame| {
+            frame
+                .samples
+                .iter()
+                .map(|&code| f32::from(code) / 512.0 - 1.0)
+                .collect()
+        })
         .collect();
-    let labels = network.forward(&input)?;
+    let decoded = network.forward_batch_auto(&window)?;
+    let input = window.last().expect("recorded at least one frame").clone();
+    let labels = decoded.last().expect("batch output per input");
     println!(
-        "decoded {} speech-frequency labels; first five: {:?}",
+        "decoded {} frames ({} labels each) on {} worker thread(s); \
+         first five of the latest: {:?}",
+        decoded.len(),
         labels.len(),
+        mindful_core::pool::default_threads(),
         &labels[..5]
             .iter()
             .map(|v| (v * 100.0).round() / 100.0)

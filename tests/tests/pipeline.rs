@@ -47,14 +47,23 @@ fn computation_centric_pipeline_runs_real_inference() {
 
     let arch = ModelFamily::Mlp.architecture(channels).unwrap();
     let network = Network::with_seeded_weights(arch.clone(), 3);
-    let frame = ni.sample(Intent::new(0.5, 0.2)).unwrap();
-    let input: Vec<f32> = frame
-        .samples
-        .iter()
-        .map(|&c| f32::from(c) / 512.0 - 1.0)
+    let inputs: Vec<Vec<f32>> = (0..3)
+        .map(|k| {
+            let frame = ni.sample(Intent::new(0.5, 0.2 - 0.1 * k as f64)).unwrap();
+            frame
+                .samples
+                .iter()
+                .map(|&c| f32::from(c) / 512.0 - 1.0)
+                .collect()
+        })
         .collect();
-    let labels = network.forward(&input).unwrap();
-    assert_eq!(labels.len() as u64, OUTPUT_LABELS);
+    // Batched decoding over the shared pool equals per-frame forwards.
+    let batched = network.forward_batch_auto(&inputs).unwrap();
+    assert_eq!(batched.len(), inputs.len());
+    for (x, labels) in inputs.iter().zip(&batched) {
+        assert_eq!(labels.len() as u64, OUTPUT_LABELS);
+        assert_eq!(labels, &network.forward(x).unwrap());
+    }
 
     // The analytic integration of the same model on BISC is feasible.
     let anchor = SplitDesign::from_scaled(
