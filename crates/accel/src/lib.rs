@@ -26,10 +26,6 @@
 //! # Ok::<(), mindful_accel::AccelError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-#![forbid(unsafe_code)]
-
 pub mod alloc;
 pub mod design;
 mod error;

@@ -5,8 +5,4 @@
 //! hot paths of each substrate crate. This library only re-exports the
 //! generation entry points so the benches stay thin.
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-#![forbid(unsafe_code)]
-
 pub use mindful_experiments as experiments;

@@ -44,10 +44,6 @@
 //! # Ok::<(), mindful_core::CoreError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-#![forbid(unsafe_code)]
-
 pub mod budget;
 pub mod dataflow;
 mod error;

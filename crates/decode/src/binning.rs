@@ -64,6 +64,20 @@ impl BinAccumulator {
     ///
     /// Returns [`DecodeError::ShapeMismatch`] for a wrong event width.
     pub fn push(&mut self, events: &[bool]) -> Result<Option<Vec<u32>>> {
+        let mut bin = Vec::new();
+        Ok(self.push_into(events, &mut bin)?.then_some(bin))
+    }
+
+    /// Feeds one sample of per-channel event indicators. When the
+    /// window fills, copies the completed bin into `bin` (cleared
+    /// first), resets the accumulator, and returns `true`; otherwise
+    /// leaves `bin` untouched and returns `false`. Allocation-free once
+    /// `bin` has capacity for the channel count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::ShapeMismatch`] for a wrong event width.
+    pub fn push_into(&mut self, events: &[bool], bin: &mut Vec<u32>) -> Result<bool> {
         if events.len() != self.counts.len() {
             return Err(DecodeError::ShapeMismatch {
                 expected: self.counts.len(),
@@ -76,11 +90,12 @@ impl BinAccumulator {
         self.filled += 1;
         if self.filled == self.window {
             self.filled = 0;
-            let mut bin = vec![0; self.counts.len()];
-            core::mem::swap(&mut bin, &mut self.counts);
-            Ok(Some(bin))
+            bin.clear();
+            bin.extend_from_slice(&self.counts);
+            self.counts.iter_mut().for_each(|c| *c = 0);
+            Ok(true)
         } else {
-            Ok(None)
+            Ok(false)
         }
     }
 
@@ -208,6 +223,24 @@ mod tests {
         assert_eq!(bins.len(), 2);
         assert_eq!(bins[0], vec![2]); // samples 0,1,2 -> events at 0 and 2
         assert_eq!(bins[1], vec![1]); // samples 3,4,5 -> event at 4
+    }
+
+    #[test]
+    fn push_into_matches_push_and_reuses_the_bin() {
+        let mut a = BinAccumulator::new(3, 4).unwrap();
+        let mut b = BinAccumulator::new(3, 4).unwrap();
+        let mut bin = Vec::new();
+        for k in 0..20_usize {
+            let events = [k % 2 == 0, k % 3 == 0, k % 5 == 0];
+            let full = b.push_into(&events, &mut bin).unwrap();
+            match a.push(&events).unwrap() {
+                Some(expected) => {
+                    assert!(full);
+                    assert_eq!(bin, expected);
+                }
+                None => assert!(!full),
+            }
+        }
     }
 
     #[test]

@@ -24,10 +24,6 @@
 //! # Ok::<(), mindful_decode::DecodeError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-#![forbid(unsafe_code)]
-
 pub mod binning;
 mod error;
 pub mod kalman;

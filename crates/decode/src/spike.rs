@@ -112,28 +112,44 @@ impl SpikeDetector {
     ///
     /// Returns [`DecodeError::ShapeMismatch`] for a wrong frame width.
     pub fn step(&mut self, frame: &[f64]) -> Result<Vec<bool>> {
+        let mut events = Vec::with_capacity(self.channels());
+        self.step_into(frame, &mut events)?;
+        Ok(events)
+    }
+
+    /// Like [`SpikeDetector::step`], but writes the indicators into
+    /// `events` (cleared first). Allocation-free once `events` has
+    /// capacity for the channel count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::ShapeMismatch`] for a wrong frame width.
+    pub fn step_into(&mut self, frame: &[f64], events: &mut Vec<bool>) -> Result<()> {
         if frame.len() != self.channels() {
             return Err(DecodeError::ShapeMismatch {
                 expected: self.channels(),
                 actual: frame.len(),
             });
         }
-        Ok(frame
-            .iter()
-            .zip(self.threshold.iter())
-            .zip(self.holdoff.iter_mut())
-            .map(|((&v, &t), hold)| {
-                if *hold > 0 {
-                    *hold -= 1;
-                    false
-                } else if v > t {
-                    *hold = self.refractory;
-                    true
-                } else {
-                    false
-                }
-            })
-            .collect())
+        events.clear();
+        events.extend(
+            frame
+                .iter()
+                .zip(self.threshold.iter())
+                .zip(self.holdoff.iter_mut())
+                .map(|((&v, &t), hold)| {
+                    if *hold > 0 {
+                        *hold -= 1;
+                        false
+                    } else if v > t {
+                        *hold = self.refractory;
+                        true
+                    } else {
+                        false
+                    }
+                }),
+        );
+        Ok(())
     }
 
     /// Counts detections per channel over a whole recording.
@@ -223,6 +239,19 @@ mod tests {
         assert_eq!(det.step(&[5.0]).unwrap(), vec![false]);
         assert_eq!(det.step(&[5.0]).unwrap(), vec![false]);
         assert_eq!(det.step(&[5.0]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn step_into_matches_step() {
+        let quiet = noise_segment(4, 200, 1);
+        let mut a = SpikeDetector::calibrate(&quiet, 4.0, 3).unwrap();
+        let mut b = a.clone();
+        let mut events = Vec::new();
+        for k in 0..30 {
+            let frame = [k as f64, 0.01, 5.0 - k as f64, -0.02];
+            b.step_into(&frame, &mut events).unwrap();
+            assert_eq!(a.step(&frame).unwrap(), events);
+        }
     }
 
     #[test]

@@ -20,6 +20,8 @@ pub enum ExperimentError {
     Decode(mindful_decode::DecodeError),
     /// A thermal-model error.
     Thermal(mindful_thermal::ThermalError),
+    /// A streaming-pipeline error.
+    Pipeline(mindful_pipeline::PipelineError),
     /// A filesystem error while writing artifacts.
     Io(std::io::Error),
 }
@@ -34,6 +36,7 @@ impl fmt::Display for ExperimentError {
             Self::Signal(e) => write!(f, "{e}"),
             Self::Decode(e) => write!(f, "{e}"),
             Self::Thermal(e) => write!(f, "{e}"),
+            Self::Pipeline(e) => write!(f, "{e}"),
             Self::Io(e) => write!(f, "failed to write artifacts: {e}"),
         }
     }
@@ -49,6 +52,7 @@ impl std::error::Error for ExperimentError {
             Self::Signal(e) => Some(e),
             Self::Decode(e) => Some(e),
             Self::Thermal(e) => Some(e),
+            Self::Pipeline(e) => Some(e),
             Self::Io(e) => Some(e),
         }
     }
@@ -71,6 +75,7 @@ from_error!(Dnn, mindful_dnn::DnnError);
 from_error!(Signal, mindful_signal::SignalError);
 from_error!(Decode, mindful_decode::DecodeError);
 from_error!(Thermal, mindful_thermal::ThermalError);
+from_error!(Pipeline, mindful_pipeline::PipelineError);
 from_error!(Io, std::io::Error);
 
 /// Convenience alias for results in this crate.

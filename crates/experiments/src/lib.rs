@@ -14,10 +14,6 @@
 //! Artifacts land in `results/<experiment>/` (override with the
 //! `MINDFUL_RESULTS` environment variable).
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-#![forbid(unsafe_code)]
-
 pub mod ablations;
 mod error;
 pub mod explore;

@@ -7,13 +7,16 @@
 //! wireless transmission — and compares it against the ~0.18 s brain
 //! reaction time used as the real-time bar by MasterMind-style systems.
 //!
-//! Alongside the analytic breakdown, the study *runs* each decoder: the
-//! `f32` inference engine executes a batch of synthetic frames through
-//! `Network::forward_batch` on the shared worker pool, giving a
-//! measured host-side throughput to set beside the modeled on-implant
-//! latency.
+//! Alongside the analytic breakdown, the study *runs* each decoder two
+//! ways: the `f32` inference engine executes a batch of synthetic
+//! frames through `Network::forward_batch` on the shared worker pool
+//! (the PR 2 batched path), and the same network streams frame-by-frame
+//! through the unified [`mindful_pipeline`] `Stage` chain with several
+//! concurrent streams fanned over the pool — the zero-allocation
+//! serving path a host-side decoder daemon would run.
 
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 use mindful_accel::alloc::best_allocation;
@@ -26,6 +29,7 @@ use mindful_dnn::integration::IntegrationConfig;
 use mindful_dnn::models::{
     ModelFamily, APPLICATION_RATE, BASE_CHANNELS, CNN_WINDOW, OUTPUT_LABELS,
 };
+use mindful_pipeline::prelude::*;
 use mindful_plot::{AsciiTable, Csv};
 
 use crate::error::Result;
@@ -91,6 +95,36 @@ impl MeasuredThroughput {
     }
 }
 
+/// Measured streaming throughput for one model family: the same network
+/// driven frame-by-frame through the unified `Stage` pipeline, with
+/// several concurrent streams fanned over the shared worker pool.
+#[derive(Debug, Clone)]
+pub struct MeasuredStreaming {
+    /// Model family.
+    pub family: ModelFamily,
+    /// Concurrent streams driven.
+    pub streams: usize,
+    /// Frames each stream processed.
+    pub steps: usize,
+    /// Worker threads used by `run_streams`.
+    pub threads: usize,
+    /// Measured wall time per frame across all streams.
+    pub per_frame: TimeSpan,
+    /// Mean in-stage latency of the DNN stage (from pipeline telemetry).
+    pub dnn_latency: TimeSpan,
+    /// Peak output-buffer bytes across all stages of one stream — the
+    /// fixed memory footprint an implant port of the chain would need.
+    pub peak_buffer_bytes: usize,
+}
+
+impl MeasuredStreaming {
+    /// Achieved decoding rate in frames per second (all streams).
+    #[must_use]
+    pub fn frames_per_second(&self) -> f64 {
+        1.0 / self.per_frame.seconds()
+    }
+}
+
 /// The generated study.
 #[derive(Debug, Clone)]
 pub struct Realtime {
@@ -98,6 +132,8 @@ pub struct Realtime {
     pub rows: Vec<LatencyBreakdown>,
     /// Measured host-side batched-inference throughput per family.
     pub measured: Vec<MeasuredThroughput>,
+    /// Measured streaming-pipeline throughput per family.
+    pub streaming: Vec<MeasuredStreaming>,
 }
 
 /// Computes latency breakdowns for SoCs 1–8 at 1024 channels.
@@ -140,6 +176,7 @@ pub fn generate() -> Result<Realtime> {
     Ok(Realtime {
         rows,
         measured: measure_throughput()?,
+        streaming: measure_streaming()?,
     })
 }
 
@@ -179,6 +216,61 @@ fn measure_throughput() -> Result<Vec<MeasuredThroughput>> {
         });
     }
     Ok(measured)
+}
+
+/// Synthetic pre-normalized frames shared by every stream of a family.
+fn synthetic_frames(width: usize, count: usize) -> Vec<Vec<f32>> {
+    (0..count)
+        .map(|s| {
+            (0..width)
+                .map(|i| ((i + 31 * s) as f32 * 0.013).sin())
+                .collect()
+        })
+        .collect()
+}
+
+/// Drives each decoder family through the unified `Stage` pipeline:
+/// several replayed streams at the 128-channel base scale, fanned over
+/// the shared pool with `run_streams`, timed end to end.
+fn measure_streaming() -> Result<Vec<MeasuredStreaming>> {
+    const STREAMS: usize = 4;
+    const STEPS: usize = 16;
+    let threads = default_threads();
+    let mut streaming = Vec::new();
+    for family in ModelFamily::ALL {
+        let arch = family.architecture(BASE_CHANNELS)?;
+        let net = Arc::new(Network::with_seeded_weights(arch, 7));
+        let width = net.architecture().input_values() as usize;
+        let frames = synthetic_frames(width, 8);
+        let mut set = StreamSet::build(STREAMS, |_stream| {
+            Ok(Pipeline::new()
+                .with_stage(ReplaySource::new(frames.clone())?)
+                .with_stage(DnnStage::shared(Arc::clone(&net), 10)?))
+        })?;
+        // Warm the set once (buffers sized, workspaces grown), then
+        // time one steady-state drive — the serving shape the
+        // `pipeline` bench measures.
+        set.drive(STEPS, threads)?;
+        let start = Instant::now();
+        let reports = set.drive(STEPS, threads)?;
+        let elapsed = start.elapsed();
+        let first = reports.first().expect("at least one stream");
+        let dnn = first
+            .telemetry
+            .iter()
+            .find(|t| t.name == "dnn")
+            .expect("chain ends in the dnn stage");
+        streaming.push(MeasuredStreaming {
+            family,
+            streams: STREAMS,
+            steps: STEPS,
+            threads: threads.get(),
+            per_frame: TimeSpan::from_seconds(elapsed.as_secs_f64() / (STREAMS * STEPS) as f64),
+            dnn_latency: TimeSpan::from_seconds(dnn.mean_latency().as_secs_f64()),
+            peak_buffer_bytes: first.telemetry.iter().map(|t| t.peak_buffer_bytes).sum(),
+        });
+    }
+    Ok(streaming)
 }
 
 /// Writes the latency table and summary.
@@ -260,6 +352,44 @@ pub fn render(study: &Realtime, dir: &Path) -> Result<Artifacts> {
         ));
     }
     artifacts.write_file(dir, "realtime_measured.csv", measured_csv.as_str())?;
+
+    let mut streaming_csv = Csv::new(&[
+        "model",
+        "streams",
+        "steps",
+        "threads",
+        "us_per_frame",
+        "kframes_per_sec",
+        "dnn_us_per_frame",
+        "peak_buffer_bytes",
+    ]);
+    artifacts.report(format!(
+        "\nmeasured streaming pipeline ({} streams x {} frames at {BASE_CHANNELS} channels, \
+         unified Stage chain over the shared pool):",
+        study.streaming.first().map_or(0, |m| m.streams),
+        study.streaming.first().map_or(0, |m| m.steps),
+    ));
+    for m in &study.streaming {
+        streaming_csv.push(&[
+            m.family.to_string(),
+            m.streams.to_string(),
+            m.steps.to_string(),
+            m.threads.to_string(),
+            format!("{:.1}", m.per_frame.microseconds()),
+            format!("{:.2}", m.frames_per_second() / 1e3),
+            format!("{:.1}", m.dnn_latency.microseconds()),
+            m.peak_buffer_bytes.to_string(),
+        ]);
+        artifacts.report(format!(
+            "  {}: {:.1} us/frame wall ({:.1} us in the DNN stage), \
+             {} peak buffer bytes per stream",
+            m.family,
+            m.per_frame.microseconds(),
+            m.dnn_latency.microseconds(),
+            m.peak_buffer_bytes,
+        ));
+    }
+    artifacts.write_file(dir, "realtime_streaming.csv", streaming_csv.as_str())?;
     Ok(artifacts)
 }
 
@@ -302,11 +432,14 @@ mod tests {
     fn render_writes_the_table() {
         let dir = std::env::temp_dir().join("mindful-realtime-test");
         let artifacts = render(&generate().unwrap(), &dir).unwrap();
-        assert_eq!(artifacts.files().len(), 2);
+        assert_eq!(artifacts.files().len(), 3);
         assert!(artifacts.report_text().contains("reaction time"));
         assert!(artifacts
             .report_text()
             .contains("measured batched inference"));
+        assert!(artifacts
+            .report_text()
+            .contains("measured streaming pipeline"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -322,6 +455,22 @@ mod tests {
                 "{}: batched outputs must equal per-sample forward",
                 m.family
             );
+        }
+    }
+
+    #[test]
+    fn streaming_pipeline_measures_every_family() {
+        let study = generate().unwrap();
+        assert_eq!(study.streaming.len(), ModelFamily::ALL.len());
+        for m in &study.streaming {
+            assert!(m.per_frame.seconds() > 0.0, "{}", m.family);
+            assert!(m.dnn_latency.seconds() > 0.0, "{}", m.family);
+            assert!(
+                m.peak_buffer_bytes > 0,
+                "{}: telemetry must size the stream's buffers",
+                m.family
+            );
+            assert!(m.frames_per_second() > 0.0);
         }
     }
 }

@@ -3,12 +3,14 @@
 
 use std::path::Path;
 
+use mindful_core::budget::SAFE_POWER_DENSITY;
 use mindful_dnn::models::ModelFamily;
 use mindful_plot::{AsciiTable, Csv};
+use mindful_thermal::{FluxSplit, ImplantThermalModel, TissueProperties};
 
 use crate::error::Result;
 use crate::output::Artifacts;
-use crate::{fig10, fig11, fig12, fig4, fig5, fig6, fig7, fig9};
+use crate::{explore, fig10, fig11, fig12, fig4, fig5, fig6, fig7, fig9};
 
 /// One scoreboard row: a claim, the paper's value, ours.
 #[derive(Debug, Clone)]
@@ -221,6 +223,30 @@ pub fn generate() -> Result<Scoreboard> {
         holds: tech_4096 > la_4096 && dense_4096 < tech_4096,
     });
 
+    // Section 3.2 — the thermal physiology behind the 40 mW/cm² limit.
+    let thermal = ImplantThermalModel::new(TissueProperties::gray_matter(), FluxSplit::DualSided)?;
+    let dt_limit = thermal.surface_temperature_rise(SAFE_POWER_DENSITY);
+    rows.push(ScoreRow {
+        source: "Sec. 3.2",
+        claim: "Pennes surface rise at the 40 mW/cm2 power-density limit",
+        paper: "1-2 C".into(),
+        measured: format!("{dt_limit:.2} C"),
+        holds: (0.8..=2.2).contains(&dt_limit),
+    });
+    let sweep = explore::generate()?;
+    let feasible = sweep.result.feasible();
+    let worst_rise = feasible
+        .iter()
+        .map(|p| thermal.surface_temperature_rise(p.power / p.area))
+        .fold(0.0_f64, f64::max);
+    rows.push(ScoreRow {
+        source: "Sec. 3.2",
+        claim: "every feasible sweep point stays inside the Pennes band",
+        paper: "<= 2 C".into(),
+        measured: format!("{} points, worst {worst_rise:.2} C", feasible.len()),
+        holds: !feasible.is_empty() && worst_rise > 0.0 && worst_rise <= 2.2,
+    });
+
     Ok(Scoreboard { rows })
 }
 
@@ -263,7 +289,11 @@ mod tests {
     #[test]
     fn every_claim_holds() {
         let board = generate().unwrap();
-        assert!(board.rows.len() >= 12);
+        assert!(board.rows.len() >= 14);
+        assert!(
+            board.rows.iter().filter(|r| r.source == "Sec. 3.2").count() >= 2,
+            "the thermal-safety claims are on the board"
+        );
         for row in &board.rows {
             assert!(
                 row.holds,

@@ -1,0 +1,60 @@
+//! # MINDFUL pipeline — the unified streaming implant dataflow
+//!
+//! The paper's Fig. 3 describes the implant as one dataflow — sensing →
+//! digitization → (packetize | decode | infer) → wireless — but each of
+//! those kernels lives in its own crate. This crate composes them: a
+//! [`Stage`] is one step of the dataflow with caller-provided buffers,
+//! a [`Pipeline`] chains stages so a frame flows through the whole
+//! implant with **zero heap allocations after warm-up** (the property
+//! an actual implant's fixed-memory firmware must have, proven here by
+//! a counting-allocator test), and [`run_streams`] / [`StreamSet`] fan
+//! independent streams over the shared worker pool for host-side
+//! serving (build once, drive repeatedly for the warm steady state).
+//!
+//! Buffer ownership follows one rule: every stage *owns its output
+//! buffer* (inside the pipeline's per-stage slot) and *borrows its
+//! input* from the previous stage. Stages never hold references across
+//! `process` calls, so the pipeline can hand each stage a view of the
+//! previous slot's buffer without copies.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mindful_pipeline::prelude::*;
+//!
+//! // Fig. 3 (top): sense 64 channels, packetize every frame.
+//! let mut pipeline = Pipeline::new()
+//!     .with_stage(SenseStage::new(8, 200, 10, 42, IntentSchedule::FigureEight)?)
+//!     .with_stage(PacketizeStage::new(10)?);
+//! let wire = pipeline.step()?.expect("packetizer emits every frame");
+//! assert_eq!(wire.kind(), FrameKind::Bytes);
+//! # Ok::<(), mindful_pipeline::PipelineError>(())
+//! ```
+
+mod error;
+mod frame;
+mod stage;
+mod stages;
+mod stream;
+
+pub use error::{PipelineError, Result};
+pub use frame::{Frame, FrameBuf, FrameKind, StageOutput};
+pub use stage::{Pipeline, Stage, StageTelemetry};
+pub use stages::{
+    BinStage, DnnStage, IntentSchedule, KalmanStage, PacketizeStage, ReplaySource, SenseStage,
+    SpikeStage, WienerStage,
+};
+pub use stream::{run_streams, StreamReport, StreamSet};
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::stages::{
+        BinStage, DnnStage, IntentSchedule, KalmanStage, PacketizeStage, ReplaySource, SenseStage,
+        SpikeStage, WienerStage,
+    };
+    pub use crate::stream::{run_streams, StreamReport, StreamSet};
+    pub use crate::{
+        Frame, FrameBuf, FrameKind, Pipeline, PipelineError, Result, Stage, StageOutput,
+        StageTelemetry,
+    };
+}

@@ -1,0 +1,327 @@
+//! The [`Stage`] trait and the [`Pipeline`] driver.
+
+use std::time::{Duration, Instant};
+
+use crate::error::{PipelineError, Result};
+use crate::frame::{Frame, FrameBuf, StageOutput};
+
+/// One step of the implant dataflow.
+///
+/// A stage reads a borrowed input [`Frame`] and writes its result into
+/// the caller-provided [`FrameBuf`] via one of the `begin_*` methods.
+/// Stages own whatever scratch state they need (detector thresholds,
+/// DNN workspaces, RNG state) but never the frames themselves, so a
+/// warm stage processes a frame without touching the heap.
+pub trait Stage: Send {
+    /// Short static name for telemetry and error messages.
+    fn name(&self) -> &'static str;
+
+    /// Processes one input frame.
+    ///
+    /// Returns [`StageOutput::Emitted`] after writing `out`, or
+    /// [`StageOutput::Pending`] when the input was absorbed into
+    /// internal state (downstream stages are skipped this step).
+    ///
+    /// # Errors
+    ///
+    /// Stage-specific; composed substrate errors are converted into
+    /// [`PipelineError`].
+    fn process(&mut self, input: &Frame<'_>, out: &mut FrameBuf) -> Result<StageOutput>;
+}
+
+/// Per-stage counters accumulated by the pipeline driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTelemetry {
+    /// The stage's [`Stage::name`].
+    pub name: &'static str,
+    /// Frames handed to the stage.
+    pub frames_in: u64,
+    /// Frames the stage emitted (≤ `frames_in` for windowing stages).
+    pub frames_out: u64,
+    /// Cumulative wall time inside [`Stage::process`].
+    pub busy: Duration,
+    /// Cumulative wire bytes emitted (non-zero only for byte sinks).
+    pub bytes_out: u64,
+    /// Peak backing storage of the stage's output buffer.
+    pub peak_buffer_bytes: usize,
+}
+
+impl StageTelemetry {
+    fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            frames_in: 0,
+            frames_out: 0,
+            busy: Duration::ZERO,
+            bytes_out: 0,
+            peak_buffer_bytes: 0,
+        }
+    }
+
+    fn record(&mut self, elapsed: Duration, outcome: StageOutput, out: &FrameBuf) {
+        self.frames_in += 1;
+        self.busy += elapsed;
+        if outcome == StageOutput::Emitted {
+            self.frames_out += 1;
+            if let Frame::Bytes(wire) = out.as_frame() {
+                self.bytes_out += wire.len() as u64;
+            }
+        }
+        self.peak_buffer_bytes = self.peak_buffer_bytes.max(out.capacity_bytes());
+    }
+
+    /// Mean time per input frame ([`Duration::ZERO`] before any frame).
+    #[must_use]
+    pub fn mean_latency(&self) -> Duration {
+        if self.frames_in == 0 {
+            Duration::ZERO
+        } else {
+            self.busy / u32::try_from(self.frames_in.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+struct Slot {
+    stage: Box<dyn Stage>,
+    out: FrameBuf,
+    telemetry: StageTelemetry,
+}
+
+/// A composed chain of stages with per-stage output buffers.
+///
+/// The pipeline owns one [`FrameBuf`] per stage; stage `i + 1` reads a
+/// borrowed view of stage `i`'s buffer. Driving a warm pipeline
+/// performs no heap allocations (proven by this crate's
+/// counting-allocator test).
+#[derive(Default)]
+pub struct Pipeline {
+    slots: Vec<Slot>,
+    steps: u64,
+}
+
+impl Pipeline {
+    /// Creates an empty pipeline.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a stage (builder style).
+    #[must_use]
+    pub fn with_stage(mut self, stage: impl Stage + 'static) -> Self {
+        self.add_stage(stage);
+        self
+    }
+
+    /// Appends a stage.
+    pub fn add_stage(&mut self, stage: impl Stage + 'static) {
+        let telemetry = StageTelemetry::new(stage.name());
+        self.slots.push(Slot {
+            stage: Box::new(stage),
+            out: FrameBuf::new(),
+            telemetry,
+        });
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the pipeline has no stages.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Steps taken so far (frames pushed, whether or not one emerged).
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Drives one step with an empty input — the normal way to run a
+    /// pipeline whose first stage is a source (sensing, replay).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pipeline::push`].
+    pub fn step(&mut self) -> Result<Option<&FrameBuf>> {
+        self.push(Frame::Empty)
+    }
+
+    /// Feeds `input` to the first stage and cascades through the chain.
+    ///
+    /// Returns the last stage's buffer when the frame made it all the
+    /// way through, or `None` when some stage absorbed it
+    /// ([`StageOutput::Pending`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Empty`] for a stage-less pipeline and
+    /// propagates the first stage error.
+    pub fn push(&mut self, input: Frame<'_>) -> Result<Option<&FrameBuf>> {
+        if self.slots.is_empty() {
+            return Err(PipelineError::Empty);
+        }
+        self.steps += 1;
+        for i in 0..self.slots.len() {
+            let (before, rest) = self.slots.split_at_mut(i);
+            let slot = &mut rest[0];
+            let frame = match before.last() {
+                None => input,
+                Some(prev) => prev.out.as_frame(),
+            };
+            let start = Instant::now();
+            let outcome = slot.stage.process(&frame, &mut slot.out)?;
+            slot.telemetry.record(start.elapsed(), outcome, &slot.out);
+            if outcome == StageOutput::Pending {
+                return Ok(None);
+            }
+        }
+        Ok(self.slots.last().map(|s| &s.out))
+    }
+
+    /// A snapshot of every stage's counters, in chain order.
+    #[must_use]
+    pub fn telemetry(&self) -> Vec<StageTelemetry> {
+        self.slots.iter().map(|s| s.telemetry.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameKind;
+
+    /// Emits an incrementing single-code frame.
+    struct CounterSource(u16);
+
+    impl Stage for CounterSource {
+        fn name(&self) -> &'static str {
+            "counter"
+        }
+
+        fn process(&mut self, _input: &Frame<'_>, out: &mut FrameBuf) -> Result<StageOutput> {
+            out.begin_codes().push(self.0);
+            self.0 = self.0.wrapping_add(1);
+            Ok(StageOutput::Emitted)
+        }
+    }
+
+    /// Doubles each code; rejects non-code frames.
+    struct Doubler;
+
+    impl Stage for Doubler {
+        fn name(&self) -> &'static str {
+            "doubler"
+        }
+
+        fn process(&mut self, input: &Frame<'_>, out: &mut FrameBuf) -> Result<StageOutput> {
+            let Frame::Codes(codes) = input else {
+                return Err(PipelineError::UnexpectedFrame {
+                    stage: self.name(),
+                    actual: input.kind(),
+                });
+            };
+            let buf = out.begin_codes();
+            buf.extend(codes.iter().map(|&c| c * 2));
+            Ok(StageOutput::Emitted)
+        }
+    }
+
+    /// Emits every `window`-th frame, absorbing the rest.
+    struct EveryNth {
+        window: u64,
+        seen: u64,
+    }
+
+    impl Stage for EveryNth {
+        fn name(&self) -> &'static str {
+            "every-nth"
+        }
+
+        fn process(&mut self, input: &Frame<'_>, out: &mut FrameBuf) -> Result<StageOutput> {
+            self.seen += 1;
+            if !self.seen.is_multiple_of(self.window) {
+                return Ok(StageOutput::Pending);
+            }
+            let Frame::Codes(codes) = input else {
+                return Err(PipelineError::UnexpectedFrame {
+                    stage: self.name(),
+                    actual: input.kind(),
+                });
+            };
+            out.begin_codes().extend_from_slice(codes);
+            Ok(StageOutput::Emitted)
+        }
+    }
+
+    #[test]
+    fn chain_cascades_and_counts() {
+        let mut p = Pipeline::new()
+            .with_stage(CounterSource(10))
+            .with_stage(Doubler);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        let out = p.step().unwrap().unwrap();
+        assert_eq!(out.as_frame(), Frame::Codes(&[20]));
+        let out = p.step().unwrap().unwrap();
+        assert_eq!(out.as_frame(), Frame::Codes(&[22]));
+        assert_eq!(p.steps(), 2);
+        let t = p.telemetry();
+        assert_eq!(t[0].name, "counter");
+        assert_eq!(t[0].frames_in, 2);
+        assert_eq!(t[1].frames_out, 2);
+        assert!(t[1].peak_buffer_bytes >= 2);
+    }
+
+    #[test]
+    fn pending_skips_downstream() {
+        let mut p = Pipeline::new()
+            .with_stage(CounterSource(0))
+            .with_stage(EveryNth { window: 3, seen: 0 })
+            .with_stage(Doubler);
+        let mut emitted = 0;
+        for _ in 0..9 {
+            if p.step().unwrap().is_some() {
+                emitted += 1;
+            }
+        }
+        assert_eq!(emitted, 3);
+        let t = p.telemetry();
+        assert_eq!(t[0].frames_in, 9);
+        assert_eq!(t[1].frames_in, 9);
+        assert_eq!(t[1].frames_out, 3);
+        assert_eq!(t[2].frames_in, 3, "doubler only sees emitted frames");
+    }
+
+    #[test]
+    fn external_input_feeds_the_first_stage() {
+        let mut p = Pipeline::new().with_stage(Doubler);
+        let out = p.push(Frame::Codes(&[3, 5])).unwrap().unwrap();
+        assert_eq!(out.as_frame(), Frame::Codes(&[6, 10]));
+    }
+
+    #[test]
+    fn empty_pipeline_and_kind_mismatch_error() {
+        let mut p = Pipeline::new();
+        assert!(matches!(p.step(), Err(PipelineError::Empty)));
+        let mut p = Pipeline::new().with_stage(Doubler);
+        let err = p.push(Frame::Values(&[1.0])).unwrap_err();
+        match err {
+            PipelineError::UnexpectedFrame { stage, actual } => {
+                assert_eq!(stage, "doubler");
+                assert_eq!(actual, FrameKind::Values);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn mean_latency_is_zero_before_any_frame() {
+        let t = StageTelemetry::new("idle");
+        assert_eq!(t.mean_latency(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,248 @@
+//! Fanning independent streams over the shared worker pool.
+//!
+//! Host-side serving runs many implant streams at once (one per
+//! patient-device link). Each stream gets its own [`Pipeline`] built by
+//! a caller-supplied factory, the set fans over
+//! [`mindful_core::pool::par_map`] with deterministic, order-preserving
+//! chunking, and each stream comes back with its per-stage telemetry.
+
+use std::num::NonZeroUsize;
+
+use mindful_core::pool;
+
+use crate::error::Result;
+use crate::stage::{Pipeline, StageTelemetry};
+
+/// The outcome of driving one stream to completion.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Stream index (`0..streams`).
+    pub stream: usize,
+    /// Steps driven.
+    pub steps: u64,
+    /// Frames that made it through the whole chain.
+    pub emitted: u64,
+    /// Per-stage counters, in chain order.
+    pub telemetry: Vec<StageTelemetry>,
+}
+
+/// Builds one pipeline per stream with `build`, drives each for
+/// `steps` steps, and fans the streams over up to `threads` pool
+/// workers. Reports come back in stream order regardless of the thread
+/// count, and every counter except wall time is thread-count
+/// independent.
+///
+/// # Errors
+///
+/// Returns the first stage error in stream order.
+pub fn run_streams<B>(
+    streams: usize,
+    steps: usize,
+    threads: NonZeroUsize,
+    build: B,
+) -> Result<Vec<StreamReport>>
+where
+    B: Fn(usize) -> Result<Pipeline> + Sync,
+{
+    let indices: Vec<usize> = (0..streams).collect();
+    let results = pool::par_map(&indices, threads, |_, &stream| -> Result<StreamReport> {
+        let mut pipeline = build(stream)?;
+        drive_one(stream, &mut pipeline, steps)
+    });
+    results.into_iter().collect()
+}
+
+/// Drives one pipeline for `steps` steps and snapshots its counters.
+fn drive_one(stream: usize, pipeline: &mut Pipeline, steps: usize) -> Result<StreamReport> {
+    let mut emitted = 0_u64;
+    for _ in 0..steps {
+        if pipeline.step()?.is_some() {
+            emitted += 1;
+        }
+    }
+    Ok(StreamReport {
+        stream,
+        steps: steps as u64,
+        emitted,
+        telemetry: pipeline.telemetry(),
+    })
+}
+
+/// A persistent set of streams: build the pipelines once, then
+/// [`StreamSet::drive`] them repeatedly.
+///
+/// This is the steady-state serving shape — after the first drive every
+/// pipeline is warm (buffers sized, workspaces grown), so subsequent
+/// drives stream frames without re-paying construction, unlike
+/// [`run_streams`] which builds fresh pipelines per call. Telemetry
+/// accumulates across drives; [`StreamReport::emitted`] counts only the
+/// drive that produced it.
+pub struct StreamSet {
+    pipelines: Vec<Pipeline>,
+}
+
+impl StreamSet {
+    /// Builds one pipeline per stream with `build`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first builder error.
+    pub fn build<B>(streams: usize, build: B) -> Result<Self>
+    where
+        B: Fn(usize) -> Result<Pipeline>,
+    {
+        Ok(Self {
+            pipelines: (0..streams).map(build).collect::<Result<_>>()?,
+        })
+    }
+
+    /// Number of streams.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pipelines.len()
+    }
+
+    /// Whether the set holds no streams.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pipelines.is_empty()
+    }
+
+    /// Drives every stream for `steps` steps, fanned over up to
+    /// `threads` scoped workers (contiguous chunks, so scheduling never
+    /// reorders the reports).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stage error in stream order.
+    pub fn drive(&mut self, steps: usize, threads: NonZeroUsize) -> Result<Vec<StreamReport>> {
+        let n = self.pipelines.len();
+        let workers = threads.get().min(n);
+        if workers <= 1 {
+            return self
+                .pipelines
+                .iter_mut()
+                .enumerate()
+                .map(|(stream, pipeline)| drive_one(stream, pipeline, steps))
+                .collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let mut results: Vec<Option<Result<StreamReport>>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            for (ci, (pipes, out)) in self
+                .pipelines
+                .chunks_mut(chunk)
+                .zip(results.chunks_mut(chunk))
+                .enumerate()
+            {
+                let base = ci * chunk;
+                scope.spawn(move || {
+                    for (j, (pipeline, slot)) in pipes.iter_mut().zip(out.iter_mut()).enumerate() {
+                        *slot = Some(drive_one(base + j, pipeline, steps));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every slot is written by exactly one worker"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stages::{IntentSchedule, PacketizeStage, SenseStage};
+
+    fn build(stream: usize) -> Result<Pipeline> {
+        Ok(Pipeline::new()
+            .with_stage(SenseStage::new(
+                2,
+                16,
+                10,
+                100 + stream as u64,
+                IntentSchedule::FigureEight,
+            )?)
+            .with_stage(PacketizeStage::new(10)?))
+    }
+
+    #[test]
+    fn reports_come_back_in_stream_order() {
+        let reports = run_streams(5, 8, NonZeroUsize::new(3).unwrap(), build).unwrap();
+        assert_eq!(reports.len(), 5);
+        for (k, report) in reports.iter().enumerate() {
+            assert_eq!(report.stream, k);
+            assert_eq!(report.steps, 8);
+            assert_eq!(report.emitted, 8, "packetizer emits every frame");
+            assert_eq!(report.telemetry.len(), 2);
+        }
+    }
+
+    #[test]
+    fn counters_are_thread_count_independent() {
+        let serial = run_streams(4, 10, NonZeroUsize::MIN, build).unwrap();
+        let pooled = run_streams(4, 10, NonZeroUsize::new(4).unwrap(), build).unwrap();
+        for (a, b) in serial.iter().zip(&pooled) {
+            assert_eq!(a.stream, b.stream);
+            assert_eq!(a.emitted, b.emitted);
+            for (ta, tb) in a.telemetry.iter().zip(&b.telemetry) {
+                assert_eq!(ta.name, tb.name);
+                assert_eq!(ta.frames_in, tb.frames_in);
+                assert_eq!(ta.frames_out, tb.frames_out);
+                assert_eq!(ta.bytes_out, tb.bytes_out);
+                assert_eq!(ta.peak_buffer_bytes, tb.peak_buffer_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_set_drives_repeatedly_and_accumulates_telemetry() {
+        let mut set = StreamSet::build(3, build).unwrap();
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        let first = set.drive(5, NonZeroUsize::new(2).unwrap()).unwrap();
+        let second = set.drive(5, NonZeroUsize::new(2).unwrap()).unwrap();
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.stream, b.stream);
+            assert_eq!(a.emitted, 5, "emitted counts one drive");
+            assert_eq!(b.emitted, 5);
+            // Telemetry keeps accumulating across drives.
+            assert_eq!(a.telemetry[0].frames_in, 5);
+            assert_eq!(b.telemetry[0].frames_in, 10);
+        }
+    }
+
+    #[test]
+    fn stream_set_matches_run_streams() {
+        let one_shot = run_streams(4, 6, NonZeroUsize::MIN, build).unwrap();
+        let mut set = StreamSet::build(4, build).unwrap();
+        let driven = set.drive(6, NonZeroUsize::new(4).unwrap()).unwrap();
+        for (a, b) in one_shot.iter().zip(&driven) {
+            assert_eq!(a.stream, b.stream);
+            assert_eq!(a.emitted, b.emitted);
+            assert_eq!(a.telemetry.len(), b.telemetry.len());
+            for (ta, tb) in a.telemetry.iter().zip(&b.telemetry) {
+                assert_eq!(ta.frames_out, tb.frames_out);
+                assert_eq!(ta.bytes_out, tb.bytes_out);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_set_propagates_stage_errors() {
+        let mut set = StreamSet::build(2, |_| Ok(Pipeline::new())).unwrap();
+        let err = set.drive(1, NonZeroUsize::MIN).unwrap_err();
+        assert!(err.to_string().contains("no stages"));
+    }
+
+    #[test]
+    fn build_errors_propagate() {
+        let err = run_streams(2, 1, NonZeroUsize::MIN, |_| {
+            Ok(Pipeline::new()) // empty pipeline fails on first step
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("no stages"));
+    }
+}

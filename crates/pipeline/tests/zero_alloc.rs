@@ -1,0 +1,161 @@
+//! Proof of the tentpole contract: a warm five-stage implant pipeline
+//! (sense → spike → bin → decode → packetize) streams a 1024-channel
+//! frame train with **zero** heap allocations per step.
+//!
+//! A counting wrapper around the system allocator tracks every
+//! allocation; the workspace denies `unsafe_code` — only this test
+//! harness opts out to install the instrumented allocator.
+
+// SAFETY: the sole unsafe construct in this file is the `GlobalAlloc`
+// impl below, which delegates straight to `System`.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use mindful_decode::binning::BinAccumulator;
+use mindful_decode::kalman::KalmanDecoder;
+use mindful_decode::spike::SpikeDetector;
+use mindful_dnn::infer::Network;
+use mindful_dnn::models::ModelFamily;
+use mindful_pipeline::prelude::*;
+use mindful_signal::prelude::NeuralInterface;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The counter is process-global, so tests that measure it must not
+/// run concurrently with tests that allocate.
+static MEASURE: Mutex<()> = Mutex::new(());
+
+/// Allocations performed while running `f`.
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+const WINDOW: usize = 4;
+
+/// Calibrates a detector and Kalman decoder from a recorded trajectory,
+/// exactly as the glue sites do.
+fn calibrate(ni: &mut NeuralInterface) -> (SpikeDetector, KalmanDecoder) {
+    let frames = ni.record_trajectory(160).unwrap();
+    let rows: Vec<Vec<f64>> = frames
+        .iter()
+        .map(|f| f.samples.iter().map(|&c| f64::from(c)).collect())
+        .collect();
+    let mut detector = SpikeDetector::calibrate(&rows[..64], 2.5, 3).unwrap();
+    let events: Vec<Vec<bool>> = rows.iter().map(|r| detector.step(r).unwrap()).collect();
+    let bins = BinAccumulator::new(ni.channels(), WINDOW)
+        .unwrap()
+        .bin_all(&events)
+        .unwrap();
+    let bin_rows: Vec<Vec<f64>> = bins
+        .iter()
+        .map(|b| b.iter().map(|&c| f64::from(c)).collect())
+        .collect();
+    let bin_intents: Vec<(f64, f64)> = (0..bins.len())
+        .map(|k| {
+            let i = frames[(k + 1) * WINDOW - 1].intent;
+            (i.x, i.y)
+        })
+        .collect();
+    let kalman = KalmanDecoder::calibrate(&bin_rows, &bin_intents).unwrap();
+    (detector, kalman)
+}
+
+/// The acceptance chain: a 1024-channel sensing front end feeding
+/// spike detection, binning, Kalman decode, and RF packetization —
+/// allocation-free once every buffer has seen one full window.
+#[test]
+fn warm_five_stage_chain_is_allocation_free() {
+    let _guard = MEASURE.lock().unwrap();
+    let mut ni = NeuralInterface::new(32, 600, 10, 5).unwrap();
+    assert_eq!(ni.channels(), 1024);
+    let (detector, kalman) = calibrate(&mut ni);
+    let channels = ni.channels();
+
+    let mut pipeline = Pipeline::new()
+        .with_stage(SenseStage::from_interface(ni, IntentSchedule::FigureEight))
+        .with_stage(SpikeStage::new(detector))
+        .with_stage(BinStage::new(channels, WINDOW).unwrap())
+        .with_stage(KalmanStage::new(kalman))
+        .with_stage(PacketizeStage::new(10).unwrap());
+
+    // Warm-up: two full bin windows so every stage (including the
+    // window-gated decode tail) has sized its buffers.
+    let mut warm_emitted = 0;
+    for _ in 0..2 * WINDOW {
+        if pipeline.step().unwrap().is_some() {
+            warm_emitted += 1;
+        }
+    }
+    assert_eq!(warm_emitted, 2, "decode tail emits once per window");
+
+    let mut emitted = 0;
+    let allocs = allocations_during(|| {
+        for _ in 0..32 {
+            if pipeline.step().unwrap().is_some() {
+                emitted += 1;
+            }
+        }
+    });
+    assert_eq!(emitted, 32 / WINDOW);
+    assert_eq!(
+        allocs, 0,
+        "a warm sense→spike→bin→decode→packetize chain must not allocate"
+    );
+
+    // `telemetry()` clones — allowed to allocate, checked outside the
+    // measured region.
+    let t = pipeline.telemetry();
+    assert_eq!(t[0].frames_in, (2 * WINDOW + 32) as u64);
+    assert!(t[4].bytes_out > 0);
+}
+
+/// The computation-centric variant: sensing straight into the embedded
+/// DNN, allocation-free after one warm frame.
+#[test]
+fn warm_dnn_chain_is_allocation_free() {
+    let _guard = MEASURE.lock().unwrap();
+    let ni = NeuralInterface::new(32, 600, 10, 5).unwrap();
+    let channels = ni.channels() as u64;
+    let network = Network::with_seeded_weights(ModelFamily::Mlp.architecture(channels).unwrap(), 7);
+    let mut pipeline = Pipeline::new()
+        .with_stage(SenseStage::from_interface(ni, IntentSchedule::FigureEight))
+        .with_stage(DnnStage::new(network, 10).unwrap());
+
+    for _ in 0..2 {
+        pipeline.step().unwrap().expect("dnn emits every frame");
+    }
+    let allocs = allocations_during(|| {
+        for _ in 0..32 {
+            pipeline.step().unwrap().expect("dnn emits every frame");
+        }
+    });
+    assert_eq!(allocs, 0, "a warm sense→dnn chain must not allocate");
+}

@@ -16,10 +16,6 @@
 //! assert!(svg.starts_with("<svg"));
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-#![forbid(unsafe_code)]
-
 pub mod csv;
 pub mod svg;
 pub mod table;

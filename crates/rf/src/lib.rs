@@ -22,10 +22,6 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-#![forbid(unsafe_code)]
-
 pub mod efficiency;
 mod error;
 pub mod linkbudget;
@@ -49,7 +45,9 @@ pub mod prelude {
     pub use crate::modem::{AwgnChannel, Modem, Symbol};
     pub use crate::modulation::Modulation;
     pub use crate::ook::{OokTransmitter, DEFAULT_OOK_ENERGY_PER_BIT};
-    pub use crate::packet::{depacketize, packetize, Frame};
+    pub use crate::packet::{
+        depacketize, depacketize_into, packetize, packetize_into, Frame, FrameHeader,
+    };
     pub use crate::wpt::WptLink;
     pub use crate::{Result, RfError};
 }

@@ -13,10 +13,10 @@ use crate::error::{Result, RfError};
 pub const PACKET_MAGIC: u16 = 0xBC1D;
 
 /// Header size in bytes: magic(2) + seq(2) + channels(2) + bits(1).
-const HEADER_BYTES: usize = 7;
+pub const HEADER_BYTES: usize = 7;
 
 /// Trailer size in bytes: CRC-16.
-const TRAILER_BYTES: usize = 2;
+pub const TRAILER_BYTES: usize = 2;
 
 /// Packs one frame of per-channel samples into a wire packet.
 ///
@@ -46,6 +46,24 @@ const TRAILER_BYTES: usize = 2;
 /// # Ok::<(), mindful_rf::RfError>(())
 /// ```
 pub fn packetize(sequence: u16, samples: &[u16], sample_bits: u8) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    packetize_into(sequence, samples, sample_bits, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`packetize`], but writes the wire packet into `out` (cleared
+/// first). Allocation-free once `out` has capacity for the wire size.
+///
+/// # Errors
+///
+/// Same as [`packetize`]; on error `out` is left cleared.
+pub fn packetize_into(
+    sequence: u16,
+    samples: &[u16],
+    sample_bits: u8,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    out.clear();
     if sample_bits == 0 || sample_bits > 16 {
         return Err(RfError::InvalidParameter {
             name: "sample bits",
@@ -72,7 +90,7 @@ pub fn packetize(sequence: u16, samples: &[u16], sample_bits: u8) -> Result<Vec<
 
     let payload_bits = samples.len() * usize::from(sample_bits);
     let payload_bytes = payload_bits.div_ceil(8);
-    let mut out = Vec::with_capacity(HEADER_BYTES + payload_bytes + TRAILER_BYTES);
+    out.reserve(HEADER_BYTES + payload_bytes + TRAILER_BYTES);
     out.extend_from_slice(&PACKET_MAGIC.to_be_bytes());
     out.extend_from_slice(&sequence.to_be_bytes());
     out.extend_from_slice(&(samples.len() as u16).to_be_bytes());
@@ -93,9 +111,9 @@ pub fn packetize(sequence: u16, samples: &[u16], sample_bits: u8) -> Result<Vec<
         out.push(((acc << (8 - acc_bits)) & 0xFF) as u8);
     }
 
-    let crc = crc16(&out);
+    let crc = crc16(out);
     out.extend_from_slice(&crc.to_be_bytes());
-    Ok(out)
+    Ok(())
 }
 
 /// A decoded neural-data frame.
@@ -109,6 +127,16 @@ pub struct Frame {
     pub samples: Vec<u16>,
 }
 
+/// The fixed-size metadata of a decoded frame, as returned by the
+/// buffer-reusing [`depacketize_into`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Frame sequence number (wraps at `u16::MAX`).
+    pub sequence: u16,
+    /// Sample bit width used on the wire.
+    pub sample_bits: u8,
+}
+
 /// Parses and validates a wire packet produced by [`packetize`].
 ///
 /// # Errors
@@ -116,6 +144,24 @@ pub struct Frame {
 /// Returns [`RfError::CorruptPacket`] when the packet is truncated, has
 /// a bad magic, an invalid header, or a CRC mismatch.
 pub fn depacketize(wire: &[u8]) -> Result<Frame> {
+    let mut samples = Vec::new();
+    let header = depacketize_into(wire, &mut samples)?;
+    Ok(Frame {
+        sequence: header.sequence,
+        sample_bits: header.sample_bits,
+        samples,
+    })
+}
+
+/// Like [`depacketize`], but writes the samples into `samples` (cleared
+/// first) and returns only the fixed-size header. Allocation-free once
+/// `samples` has capacity for the channel count.
+///
+/// # Errors
+///
+/// Same as [`depacketize`]; on error `samples` is left cleared.
+pub fn depacketize_into(wire: &[u8], samples: &mut Vec<u16>) -> Result<FrameHeader> {
+    samples.clear();
     if wire.len() < HEADER_BYTES + TRAILER_BYTES {
         return Err(RfError::CorruptPacket {
             reason: "truncated",
@@ -151,7 +197,7 @@ pub fn depacketize(wire: &[u8]) -> Result<Frame> {
     }
 
     let payload = &body[HEADER_BYTES..];
-    let mut samples = Vec::with_capacity(channels);
+    samples.reserve(channels);
     let mut acc: u32 = 0;
     let mut acc_bits: u32 = 0;
     let mut byte_idx = 0;
@@ -169,10 +215,9 @@ pub fn depacketize(wire: &[u8]) -> Result<Frame> {
         };
         samples.push(((acc >> acc_bits) & mask) as u16);
     }
-    Ok(Frame {
+    Ok(FrameHeader {
         sequence,
         sample_bits,
-        samples,
     })
 }
 

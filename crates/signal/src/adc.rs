@@ -78,6 +78,13 @@ impl Adc {
         values.iter().map(|&v| self.quantize(v)).collect()
     }
 
+    /// Quantizes a frame into `codes` (cleared first). Allocation-free
+    /// once `codes` has capacity for the frame width.
+    pub fn quantize_frame_into(&self, values: &[f64], codes: &mut Vec<u16>) {
+        codes.clear();
+        codes.extend(values.iter().map(|&v| self.quantize(v)));
+    }
+
     /// Reconstructs the analog value at a code's midpoint.
     #[must_use]
     pub fn reconstruct(&self, code: u16) -> f64 {
@@ -155,6 +162,15 @@ mod tests {
         for (v, c) in frame.iter().zip(&codes) {
             assert_eq!(adc.quantize(*v), *c);
         }
+    }
+
+    #[test]
+    fn frame_quantization_into_matches_allocating_path() {
+        let adc = Adc::ten_bit(1.0).unwrap();
+        let frame = [-0.7, -0.1, 0.0, 0.3, 0.99];
+        let mut codes = Vec::new();
+        adc.quantize_frame_into(&frame, &mut codes);
+        assert_eq!(codes, adc.quantize_frame(&frame));
     }
 
     #[test]

@@ -93,15 +93,29 @@ impl ElectrodeArray {
     /// Returns [`SignalError::InvalidParameter`] if `spikes` does not
     /// match the neuron count.
     pub fn sense(&mut self, spikes: &[bool]) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(self.channels);
+        self.sense_into(spikes, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`ElectrodeArray::sense`], but writes the voltages into
+    /// `out` (cleared first). Allocation-free once `out` has capacity
+    /// for the channel count; draws the same RNG sequence as `sense`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::InvalidParameter`] if `spikes` does not
+    /// match the neuron count.
+    pub fn sense_into(&mut self, spikes: &[bool], out: &mut Vec<f64>) -> Result<()> {
         if spikes.len() != self.neurons {
             return Err(SignalError::InvalidParameter {
                 name: "spike vector length",
                 value: spikes.len() as f64,
             });
         }
+        out.clear();
         self.lfp_phase = (self.lfp_phase + self.lfp_step) % core::f64::consts::TAU;
         let lfp = 0.1 * self.lfp_phase.sin();
-        let mut out = Vec::with_capacity(self.channels);
         for c in 0..self.channels {
             let row = &self.weights[c * self.neurons..(c + 1) * self.neurons];
             let mut drive = 0.0;
@@ -115,7 +129,7 @@ impl ElectrodeArray {
             let noise = self.noise_sd * standard_normal(&mut self.rng);
             out.push(self.trace[c] + lfp + noise);
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -193,6 +207,19 @@ mod tests {
             values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64
         };
         assert!(collect(&mut noisy_arr) > 10.0 * collect(&mut quiet_arr));
+    }
+
+    #[test]
+    fn sense_into_matches_sense() {
+        let mut p = Population::new(48, SEED_PIPELINE).unwrap();
+        let mut a = ElectrodeArray::grid(4, &p, 0.02, SEED_PIPELINE).unwrap();
+        let mut b = a.clone();
+        let mut buf = Vec::new();
+        for _ in 0..40 {
+            let spikes = p.step(Intent::new(0.4, -0.3));
+            b.sense_into(&spikes, &mut buf).unwrap();
+            assert_eq!(a.sense(&spikes).unwrap(), buf);
+        }
     }
 
     #[test]

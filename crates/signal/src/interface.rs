@@ -24,6 +24,9 @@ pub struct NeuralInterface {
     population: Population,
     array: ElectrodeArray,
     adc: Adc,
+    /// Reused per-frame analog scratch, so [`NeuralInterface::sample_into`]
+    /// is allocation-free after the first frame.
+    analog: Vec<f64>,
 }
 
 impl NeuralInterface {
@@ -38,10 +41,12 @@ impl NeuralInterface {
         let population = Population::new(neurons, seed)?;
         let array = ElectrodeArray::grid(grid, &population, 0.02, seed)?;
         let adc = Adc::new(sample_bits, 4.0)?;
+        let channels = array.channels();
         Ok(Self {
             population,
             array,
             adc,
+            analog: Vec::with_capacity(channels),
         })
     }
 
@@ -78,9 +83,9 @@ impl NeuralInterface {
     /// Never fails after construction; kept fallible because the sensing
     /// path validates internal shapes.
     pub fn sample(&mut self, intent: Intent) -> Result<NeuralFrame> {
-        let spikes = self.population.step(intent);
-        let analog = self.array.sense(&spikes)?;
-        let samples = self.adc.quantize_frame(&analog);
+        let mut samples = Vec::with_capacity(self.channels());
+        let mut spikes = Vec::with_capacity(self.neurons());
+        self.sample_into(intent, &mut samples, &mut spikes)?;
         Ok(NeuralFrame {
             samples,
             spikes,
@@ -88,8 +93,31 @@ impl NeuralInterface {
         })
     }
 
+    /// Advances one sample period under `intent`, writing the digitized
+    /// codes into `samples` and the ground-truth spike indicators into
+    /// `spikes` (both cleared first). Allocation-free once the buffers
+    /// have settled at channel/neuron capacity; produces bit-identical
+    /// frames to [`NeuralInterface::sample`] for the same state.
+    ///
+    /// # Errors
+    ///
+    /// Never fails after construction; kept fallible because the sensing
+    /// path validates internal shapes.
+    pub fn sample_into(
+        &mut self,
+        intent: Intent,
+        samples: &mut Vec<u16>,
+        spikes: &mut Vec<bool>,
+    ) -> Result<()> {
+        self.population.step_into(intent, spikes);
+        self.array.sense_into(spikes, &mut self.analog)?;
+        self.adc.quantize_frame_into(&self.analog, samples);
+        Ok(())
+    }
+
     /// Records `steps` frames while the intent follows a smooth
     /// figure-eight trajectory — a stand-in for a cursor-control task.
+    /// The intent at step `k` is [`crate::neuron::trajectory_intent`].
     ///
     /// # Errors
     ///
@@ -100,9 +128,7 @@ impl NeuralInterface {
         }
         let mut frames = Vec::with_capacity(steps);
         for k in 0..steps {
-            let t = k as f64 * 0.01;
-            let intent = Intent::new((t).sin(), (2.0 * t).sin() * 0.8);
-            frames.push(self.sample(intent)?);
+            frames.push(self.sample(crate::neuron::trajectory_intent(k))?);
         }
         Ok(frames)
     }
@@ -174,6 +200,21 @@ mod tests {
             (sum_a - sum_b).abs() / sum_a.max(sum_b) > 0.0005,
             "opposite intents should modulate total activity: {sum_a} vs {sum_b}"
         );
+    }
+
+    #[test]
+    fn sample_into_matches_sample_bit_for_bit() {
+        let mut a = NeuralInterface::new(4, 64, 10, SEED_DETERMINISM).unwrap();
+        let mut b = NeuralInterface::new(4, 64, 10, SEED_DETERMINISM).unwrap();
+        let mut samples = Vec::new();
+        let mut spikes = Vec::new();
+        for k in 0..60 {
+            let intent = crate::neuron::trajectory_intent(k);
+            let frame = a.sample(intent).unwrap();
+            b.sample_into(intent, &mut samples, &mut spikes).unwrap();
+            assert_eq!(frame.samples, samples);
+            assert_eq!(frame.spikes, spikes);
+        }
     }
 
     #[test]

@@ -19,10 +19,6 @@
 //! # Ok::<(), mindful_signal::SignalError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-#![forbid(unsafe_code)]
-
 pub mod adc;
 pub mod electrode;
 mod error;
@@ -37,7 +33,7 @@ pub mod prelude {
     pub use crate::adc::Adc;
     pub use crate::electrode::ElectrodeArray;
     pub use crate::interface::{NeuralFrame, NeuralInterface};
-    pub use crate::neuron::{Intent, Neuron, Population};
+    pub use crate::neuron::{trajectory_intent, Intent, Neuron, Population};
     pub use crate::stats::{count_correlation, fano_factor, train_stats, TrainStats};
     pub use crate::{Result, SignalError};
 }

@@ -184,15 +184,31 @@ impl Population {
     /// Advances the population one time step under `intent`; returns the
     /// spike indicator per neuron.
     pub fn step(&mut self, intent: Intent) -> Vec<bool> {
-        let noises: Vec<f64> = (0..self.neurons.len())
-            .map(|_| standard_normal(&mut self.rng))
-            .collect();
-        self.neurons
-            .iter_mut()
-            .zip(noises)
-            .map(|(n, z)| n.step(intent, z))
-            .collect()
+        let mut spikes = Vec::with_capacity(self.neurons.len());
+        self.step_into(intent, &mut spikes);
+        spikes
     }
+
+    /// Advances one time step, writing the spike indicators into
+    /// `spikes` (cleared first). Allocation-free once `spikes` has
+    /// capacity for the population; draws exactly the same RNG sequence
+    /// as [`Population::step`].
+    pub fn step_into(&mut self, intent: Intent, spikes: &mut Vec<bool>) {
+        spikes.clear();
+        for neuron in &mut self.neurons {
+            let z = standard_normal(&mut self.rng);
+            spikes.push(neuron.step(intent, z));
+        }
+    }
+}
+
+/// The intent at step `k` of the canonical figure-eight cursor-control
+/// trajectory used by [`crate::interface::NeuralInterface::record_trajectory`]
+/// and the streaming pipeline's sensing source.
+#[must_use]
+pub fn trajectory_intent(step: usize) -> Intent {
+    let t = step as f64 * 0.01;
+    Intent::new(t.sin(), (2.0 * t).sin() * 0.8)
 }
 
 /// One standard-normal sample via Box–Muller.
@@ -294,6 +310,26 @@ mod tests {
         assert!(Neuron::new(0.0, 0.1, 0.2, 0.0).is_err());
         assert!(Neuron::new(0.0, 0.1, 0.2, 1.5).is_err());
         assert!(Population::new(0, 1).is_err());
+    }
+
+    #[test]
+    fn step_into_matches_step_and_reuses_the_buffer() {
+        let mut a = Population::new(40, SEED_DETERMINISM).unwrap();
+        let mut b = Population::new(40, SEED_DETERMINISM).unwrap();
+        let mut buf = Vec::new();
+        for k in 0..200 {
+            let intent = trajectory_intent(k);
+            b.step_into(intent, &mut buf);
+            assert_eq!(a.step(intent), buf);
+        }
+        assert!(buf.capacity() >= 40, "buffer retains its capacity");
+    }
+
+    #[test]
+    fn trajectory_intent_is_the_figure_eight() {
+        assert_eq!(trajectory_intent(0), Intent::new(0.0, 0.0));
+        let i = trajectory_intent(157); // t ≈ π/2: x at peak, y near zero
+        assert!(i.x > 0.99 && i.y.abs() < 0.01);
     }
 
     #[test]

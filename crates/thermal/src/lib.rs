@@ -28,10 +28,6 @@
 //! # Ok::<(), mindful_thermal::ThermalError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-#![forbid(unsafe_code)]
-
 use core::fmt;
 
 use mindful_core::units::PowerDensity;

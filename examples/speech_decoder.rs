@@ -13,6 +13,10 @@
 use mindful_core::prelude::*;
 use mindful_dnn::prelude::*;
 use mindful_examples::{mw, section};
+use mindful_pipeline::prelude::*;
+// Both the RF and pipeline preludes export a `Frame`; this example
+// pattern-matches the pipeline's.
+use mindful_pipeline::Frame;
 use mindful_rf::prelude::*;
 use mindful_signal::prelude::*;
 
@@ -63,7 +67,45 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
             .collect::<Vec<_>>(),
     );
 
-    section("3. Strategy A: communication-centric (stream everything)");
+    section("3. Stream the same decoder through the unified Stage pipeline");
+    // The streaming path the implant firmware would run: sense → DNN as
+    // one zero-allocation chain, pinned against the direct path.
+    let stream_ni = NeuralInterface::new(32, 1200, spec.sample_bits(), 77)?;
+    let mut stream_twin = stream_ni.clone();
+    let mut stream = Pipeline::new()
+        .with_stage(SenseStage::from_interface(
+            stream_ni,
+            IntentSchedule::FigureEight,
+        ))
+        .with_stage(DnnStage::new(network.clone(), spec.sample_bits())?);
+    let mut last_streamed = Vec::new();
+    for k in 0..8 {
+        let out = stream.step()?.expect("dnn emits every frame");
+        if let Frame::Activations(labels) = out.as_frame() {
+            last_streamed.clear();
+            last_streamed.extend_from_slice(labels);
+        }
+        // Equivalence against the pre-refactor per-frame glue.
+        let frame = stream_twin.sample(trajectory_intent(k))?;
+        let direct: Vec<f32> = frame
+            .samples
+            .iter()
+            .map(|&code| f32::from(code) / 512.0 - 1.0)
+            .collect();
+        assert_eq!(last_streamed, network.forward(&direct)?);
+    }
+    for t in stream.telemetry() {
+        println!(
+            "  stage {:<9} {} frames, {:>7.1} us/frame, peak buffer {} bytes",
+            t.name,
+            t.frames_in,
+            t.mean_latency().as_secs_f64() * 1e6,
+            t.peak_buffer_bytes,
+        );
+    }
+    println!("streamed labels match the per-frame forward pass exactly");
+
+    section("4. Strategy A: communication-centric (stream everything)");
     let raw_rate = sensing_throughput(channels, spec.sample_bits(), spec.sampling());
     let tx = OokTransmitter::customized_for(channels, spec.sample_bits(), spec.sampling())?;
     let comm_centric = tx.power_at(raw_rate)?;
@@ -78,7 +120,7 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         mw(comm_centric),
     );
 
-    section("4. Strategy B: computation-centric (full MLP on implant)");
+    section("5. Strategy B: computation-centric (full MLP on implant)");
     let on_implant = evaluate_full(&anchor, ModelFamily::Mlp, channels, &config)?;
     println!("{on_implant}");
     println!(
@@ -87,7 +129,7 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         on_implant.allocation().total_mac_hw(),
     );
 
-    section("5. Strategy C: partitioned (early layers on implant)");
+    section("6. Strategy C: partitioned (early layers on implant)");
     let split = evaluate_partitioned(&anchor, ModelFamily::Mlp, channels, &config)?;
     println!("{split}");
     // Run the actual prefix the implant would execute.
@@ -97,7 +139,7 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         intermediate.len(),
     );
 
-    section("6. Verdict at 1024 channels");
+    section("7. Verdict at 1024 channels");
     let budget = on_implant.power_budget();
     println!("power budget:            {}", mw(budget));
     println!(

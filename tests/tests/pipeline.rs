@@ -1,68 +1,122 @@
 //! End-to-end pipelines spanning the whole workspace: sensing →
 //! digitization → (packetize | decode | infer) → wireless, under the
-//! core power budget.
+//! core power budget — composed through the unified streaming
+//! `Stage` abstraction of `mindful_pipeline`.
 
 use mindful_accel::prelude::*;
 use mindful_core::prelude::*;
 use mindful_decode::prelude::*;
 use mindful_dnn::prelude::*;
+use mindful_pipeline::prelude::*;
+// Both the RF and pipeline preludes export a `Frame`; these tests
+// pattern-match the pipeline's.
+use mindful_pipeline::Frame;
 use mindful_rf::prelude::*;
 use mindful_signal::prelude::*;
 
-/// The communication-centric pipeline of Fig. 3 (top): digitize every
-/// channel, packetize, transmit; the wearable depacketizes losslessly.
+/// The communication-centric pipeline of Fig. 3 (top), as a streaming
+/// `Stage` chain: digitize every channel, packetize, transmit; the
+/// wearable depacketizes losslessly, and the *measured* wire rate from
+/// pipeline telemetry fits a BISC-class power budget.
 #[test]
 fn communication_centric_pipeline_is_lossless() {
-    let mut ni = NeuralInterface::new(16, 400, 10, 11).unwrap(); // 256 ch
+    let ni = NeuralInterface::new(16, 400, 10, 11).unwrap(); // 256 ch
+    let channels = ni.channels();
+    let mut twin = ni.clone();
     let spec = soc_by_id(1).unwrap();
-    let tx =
-        OokTransmitter::customized_for(ni.channels() as u64, 10, Frequency::from_kilohertz(8.0))
-            .unwrap();
 
-    let mut sequence = 0_u16;
-    for _ in 0..20 {
-        let frame = ni.sample(Intent::new(0.3, -0.1)).unwrap();
-        let wire = packetize(sequence, &frame.samples, 10).unwrap();
-        let received = depacketize(&wire).unwrap();
+    let intent = Intent::new(0.3, -0.1);
+    let mut pipeline = Pipeline::new()
+        .with_stage(SenseStage::from_interface(
+            ni,
+            IntentSchedule::Constant(intent),
+        ))
+        .with_stage(PacketizeStage::new(10).unwrap());
+
+    let mut wire_bits_per_frame = 0_u64;
+    for sequence in 0..20_u16 {
+        let out = pipeline.step().unwrap().expect("packetizer always emits");
+        let Frame::Bytes(wire) = out.as_frame() else {
+            panic!("the chain tail carries wire bytes");
+        };
+        wire_bits_per_frame = wire.len() as u64 * 8;
+        let received = depacketize(wire).unwrap();
+        // Lossless, in sequence, and equal to the pre-refactor direct
+        // path on a twin interface.
+        let frame = twin.sample(intent).unwrap();
         assert_eq!(received.samples, frame.samples);
         assert_eq!(received.sequence, sequence);
-        sequence = sequence.wrapping_add(1);
     }
 
-    // The link power for this stream fits a BISC-class budget.
-    let rate = sensing_throughput(ni.channels() as u64, 10, Frequency::from_kilohertz(8.0));
-    let p_comm = tx.power_at(rate).unwrap();
+    // Telemetry agrees with the wire format, and the link power for the
+    // *actual* packetized rate (overhead included) fits the budget.
+    let telemetry = pipeline.telemetry();
+    assert_eq!(telemetry[1].frames_out, 20);
+    assert_eq!(telemetry[1].bytes_out * 8, 20 * wire_bits_per_frame);
+    let sampling = Frequency::from_kilohertz(8.0);
+    let wire_rate = DataRate::from_bits_per_second(wire_bits_per_frame as f64 * sampling.hertz());
+    assert!(
+        wire_rate.bits_per_second()
+            > sensing_throughput(channels as u64, 10, sampling).bits_per_second(),
+        "packet framing adds overhead on top of the raw stream"
+    );
+    // A transmitter customized for the packetized stream (same pJ/bit
+    // as the paper's worked example) still fits a BISC-class budget.
+    let raw_tx = OokTransmitter::customized_for(channels as u64, 10, sampling).unwrap();
+    let tx = OokTransmitter::new(raw_tx.energy_per_bit(), wire_rate).unwrap();
+    let p_comm = tx.power_at(wire_rate).unwrap();
     let budget = power_budget(spec.area());
     assert!(p_comm < budget, "{p_comm:?} vs {budget:?}");
 }
 
 /// The computation-centric pipeline (Fig. 3 bottom): digitized frames
-/// feed the real MLP; only 40 labels leave the implant, and the MAC
-/// allocation that sustains it respects the budget on BISC.
+/// stream through the real MLP as a `Stage` chain; only 40 labels leave
+/// the implant, the streamed outputs equal the batched pool path
+/// bit-for-bit, and the MAC allocation that sustains it respects the
+/// budget on BISC.
 #[test]
 fn computation_centric_pipeline_runs_real_inference() {
     let channels = 1024_u64;
-    let mut ni = NeuralInterface::new(32, 600, 10, 5).unwrap();
+    let ni = NeuralInterface::new(32, 600, 10, 5).unwrap();
     assert_eq!(ni.channels() as u64, channels);
+    let mut twin = ni.clone();
 
     let arch = ModelFamily::Mlp.architecture(channels).unwrap();
     let network = Network::with_seeded_weights(arch.clone(), 3);
-    let inputs: Vec<Vec<f32>> = (0..3)
-        .map(|k| {
-            let frame = ni.sample(Intent::new(0.5, 0.2 - 0.1 * k as f64)).unwrap();
+    let mut pipeline = Pipeline::new()
+        .with_stage(SenseStage::from_interface(
+            ni,
+            IntentSchedule::Constant(Intent::new(0.5, 0.2)),
+        ))
+        .with_stage(DnnStage::new(network.clone(), 10).unwrap());
+
+    // Stream three frames; rebuild the same inputs on a twin interface
+    // for the batched pool path.
+    let mut streamed: Vec<Vec<f32>> = Vec::new();
+    let mut inputs: Vec<Vec<f32>> = Vec::new();
+    for _ in 0..3 {
+        let out = pipeline.step().unwrap().expect("dnn emits every frame");
+        let Frame::Activations(labels) = out.as_frame() else {
+            panic!("the chain tail carries activations");
+        };
+        streamed.push(labels.to_vec());
+        let frame = twin.sample(Intent::new(0.5, 0.2)).unwrap();
+        inputs.push(
             frame
                 .samples
                 .iter()
                 .map(|&c| f32::from(c) / 512.0 - 1.0)
-                .collect()
-        })
-        .collect();
-    // Batched decoding over the shared pool equals per-frame forwards.
+                .collect(),
+        );
+    }
+    // Batched decoding over the shared pool equals the streamed chain
+    // and per-frame forwards exactly.
     let batched = network.forward_batch_auto(&inputs).unwrap();
     assert_eq!(batched.len(), inputs.len());
-    for (x, labels) in inputs.iter().zip(&batched) {
+    for ((x, labels), stream_labels) in inputs.iter().zip(&batched).zip(&streamed) {
         assert_eq!(labels.len() as u64, OUTPUT_LABELS);
         assert_eq!(labels, &network.forward(x).unwrap());
+        assert_eq!(labels, stream_labels, "streamed ≡ batched");
     }
 
     // The analytic integration of the same model on BISC is feasible.
@@ -184,15 +238,27 @@ fn accelerator_simulation_agrees_with_allocation() {
 }
 
 /// Corrupt the wireless stream and confirm the wearable rejects exactly
-/// the corrupted frames (failure injection).
+/// the corrupted frames (failure injection), with the stream produced
+/// by the composed sense → packetize chain.
 #[test]
 fn corrupted_frames_are_dropped_not_misdecoded() {
-    let mut ni = NeuralInterface::new(8, 100, 10, 21).unwrap();
+    let ni = NeuralInterface::new(8, 100, 10, 21).unwrap();
+    let mut twin = ni.clone();
+    let mut pipeline = Pipeline::new()
+        .with_stage(SenseStage::from_interface(
+            ni,
+            IntentSchedule::Constant(Intent::default()),
+        ))
+        .with_stage(PacketizeStage::new(10).unwrap());
     let mut corrupted = 0;
     let mut delivered = 0;
     for k in 0..50_u16 {
-        let frame = ni.sample(Intent::default()).unwrap();
-        let mut wire = packetize(k, &frame.samples, 10).unwrap();
+        let out = pipeline.step().unwrap().expect("packetizer always emits");
+        let Frame::Bytes(stream) = out.as_frame() else {
+            panic!("the chain tail carries wire bytes");
+        };
+        let mut wire = stream.to_vec();
+        let frame = twin.sample(Intent::default()).unwrap();
         if k % 5 == 0 {
             let idx = (usize::from(k) * 7) % wire.len();
             wire[idx] ^= 0x10;
