@@ -38,19 +38,49 @@ pub const MAX_SWEEP_THREADS: usize = 256;
 
 /// Resolves the default worker count for parallel fan-outs.
 ///
-/// Honors [`SWEEP_THREADS_ENV`] when set to a positive integer
-/// (clamped to [`MAX_SWEEP_THREADS`]); otherwise uses the machine's
-/// available parallelism, falling back to 1 if that cannot be queried.
+/// Honors [`SWEEP_THREADS_ENV`] when set to an integer: values are
+/// clamped into `[1, MAX_SWEEP_THREADS]`, so `"0"` pins one worker and
+/// an overlong value (one that overflows `usize`) pins the maximum
+/// rather than being silently ignored. Empty, whitespace-only, or
+/// non-numeric values fall back to the machine's available
+/// parallelism (1 if that cannot be queried).
 #[must_use]
 pub fn default_threads() -> NonZeroUsize {
-    if let Ok(raw) = std::env::var(SWEEP_THREADS_ENV) {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if let Some(n) = NonZeroUsize::new(n.min(MAX_SWEEP_THREADS)) {
-                return n;
-            }
-        }
+    if let Some(n) = std::env::var(SWEEP_THREADS_ENV)
+        .ok()
+        .as_deref()
+        .and_then(thread_override)
+    {
+        return n;
     }
     std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+}
+
+/// Parses a [`SWEEP_THREADS_ENV`] value into a worker count.
+///
+/// An explicit integer always wins, clamped into
+/// `[1, MAX_SWEEP_THREADS]`: `"0"` means "as serial as possible" (one
+/// worker), and a value too large for `usize` means "as parallel as
+/// possible" ([`MAX_SWEEP_THREADS`]). Only values that carry no number
+/// at all — empty, whitespace, non-numeric — return `None` and defer
+/// to auto-detection. This is the pure core of [`default_threads`],
+/// split out so the `"0"` / `""` / `"abc"` paths are testable without
+/// racing on the process environment.
+#[must_use]
+pub fn thread_override(raw: &str) -> Option<NonZeroUsize> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) => NonZeroUsize::new(n.clamp(1, MAX_SWEEP_THREADS)),
+        // A string of digits that overflows usize is still an explicit
+        // "huge" request — clamp it instead of silently ignoring it.
+        Err(_) if trimmed.bytes().all(|b| b.is_ascii_digit()) => {
+            NonZeroUsize::new(MAX_SWEEP_THREADS)
+        }
+        Err(_) => None,
+    }
 }
 
 /// Maps `f` over `items` on up to `threads` scoped worker threads,
@@ -207,5 +237,40 @@ mod tests {
     #[test]
     fn default_threads_is_at_least_one() {
         assert!(default_threads().get() >= 1);
+    }
+
+    /// Regression for the env-parsing bug: `"0"` used to fail the
+    /// `NonZeroUsize` conversion and overlong values failed the parse,
+    /// both silently falling back to auto-detection instead of
+    /// honouring the explicit (if extreme) request.
+    #[test]
+    fn thread_override_clamps_explicit_values() {
+        assert_eq!(thread_override("0"), NonZeroUsize::new(1));
+        assert_eq!(thread_override(" 0 "), NonZeroUsize::new(1));
+        assert_eq!(thread_override("1"), NonZeroUsize::new(1));
+        assert_eq!(thread_override(" 8 "), NonZeroUsize::new(8));
+        assert_eq!(thread_override("256"), NonZeroUsize::new(MAX_SWEEP_THREADS));
+        assert_eq!(
+            thread_override("9999"),
+            NonZeroUsize::new(MAX_SWEEP_THREADS),
+            "above the cap clamps to the cap"
+        );
+        // 39 digits: overflows usize but is still an explicit number.
+        assert_eq!(
+            thread_override("340282366920938463463374607431768211456"),
+            NonZeroUsize::new(MAX_SWEEP_THREADS),
+            "overlong values clamp instead of being ignored"
+        );
+    }
+
+    #[test]
+    fn thread_override_defers_on_non_numeric_values() {
+        assert_eq!(thread_override(""), None);
+        assert_eq!(thread_override("   "), None);
+        assert_eq!(thread_override("\t\n"), None);
+        assert_eq!(thread_override("abc"), None);
+        assert_eq!(thread_override("8 workers"), None);
+        assert_eq!(thread_override("-4"), None, "signs are not digits");
+        assert_eq!(thread_override("3.5"), None);
     }
 }

@@ -99,8 +99,47 @@ impl BinAccumulator {
         }
     }
 
+    /// Samples accumulated into the current (incomplete) window —
+    /// 0 right after a bin completes or a [`BinAccumulator::flush`].
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.filled
+    }
+
+    /// Emits the trailing partial window, if any: copies the partial
+    /// counts into `bin` (cleared first), resets the accumulator, and
+    /// returns how many samples the partial bin covers (0 when there
+    /// was nothing pending, in which case `bin` is left untouched).
+    /// This is the end-of-stream counterpart to
+    /// [`BinAccumulator::push_into`] — without it the samples since the
+    /// last full window are silently lost.
+    pub fn flush_into(&mut self, bin: &mut Vec<u32>) -> usize {
+        let covered = self.filled;
+        if covered == 0 {
+            return 0;
+        }
+        self.filled = 0;
+        bin.clear();
+        bin.extend_from_slice(&self.counts);
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        covered
+    }
+
+    /// Allocating convenience wrapper over [`BinAccumulator::flush_into`]:
+    /// returns the partial bin and the samples it covers, or `None`
+    /// when nothing is pending.
+    pub fn flush(&mut self) -> Option<(Vec<u32>, usize)> {
+        let mut bin = Vec::new();
+        let covered = self.flush_into(&mut bin);
+        (covered > 0).then_some((bin, covered))
+    }
+
     /// Bins a whole recording (`rows × channels` of event indicators),
-    /// dropping any incomplete trailing window.
+    /// dropping any incomplete trailing window — the historical
+    /// batch-mode contract, kept for callers that only want
+    /// whole-window statistics. Call [`BinAccumulator::flush`] (or
+    /// [`BinAccumulator::flush_into`]) afterwards to recover the
+    /// trailing partial bin instead of losing it.
     ///
     /// # Errors
     ///
@@ -223,6 +262,42 @@ mod tests {
         assert_eq!(bins.len(), 2);
         assert_eq!(bins[0], vec![2]); // samples 0,1,2 -> events at 0 and 2
         assert_eq!(bins[1], vec![1]); // samples 3,4,5 -> event at 4
+    }
+
+    /// Regression for the silent trailing-window drop: `bin_all` keeps
+    /// its historical contract, but `flush` now recovers the remainder
+    /// explicitly instead of losing it.
+    #[test]
+    fn flush_recovers_the_trailing_partial_window() {
+        let rows: Vec<Vec<bool>> = (0..7).map(|k| vec![k % 2 == 0]).collect();
+        let mut acc = BinAccumulator::new(1, 3).unwrap();
+        let bins = acc.bin_all(&rows).unwrap();
+        assert_eq!(bins.len(), 2, "bin_all still drops the partial window");
+        assert_eq!(acc.pending(), 1, "sample 6 is pending");
+        let (bin, covered) = acc.flush().unwrap();
+        assert_eq!(covered, 1);
+        assert_eq!(bin, vec![1], "event at sample 6 is recovered");
+        assert_eq!(acc.pending(), 0);
+        assert!(acc.flush().is_none(), "flush resets the accumulator");
+        // Full bins + flushed remainder account for every event.
+        let total: u32 = bins.iter().flatten().sum::<u32>() + 1;
+        let expected = rows.iter().flatten().filter(|&&e| e).count() as u32;
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn flush_into_leaves_the_bin_untouched_when_nothing_is_pending() {
+        let mut acc = BinAccumulator::new(2, 2).unwrap();
+        let mut bin = vec![99, 99];
+        assert_eq!(acc.flush_into(&mut bin), 0);
+        assert_eq!(bin, vec![99, 99]);
+        // A flushed partial window does not leak into the next one.
+        acc.push(&[true, true]).unwrap();
+        assert_eq!(acc.flush_into(&mut bin), 1);
+        assert_eq!(bin, vec![1, 1]);
+        acc.push(&[false, true]).unwrap();
+        let full = acc.push(&[false, false]).unwrap().unwrap();
+        assert_eq!(full, vec![0, 1], "counts restart after a flush");
     }
 
     #[test]

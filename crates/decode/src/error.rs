@@ -29,6 +29,12 @@ pub enum DecodeError {
         /// The offending value.
         value: f64,
     },
+    /// An observation contained a NaN or infinite value — the input is
+    /// rejected before it can poison a stateful decoder's estimate.
+    NonFinite {
+        /// Index of the first non-finite channel.
+        channel: usize,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -47,6 +53,9 @@ impl fmt::Display for DecodeError {
             Self::Singular => write!(f, "covariance matrix is singular"),
             Self::InvalidParameter { name, value } => {
                 write!(f, "parameter `{name}` is invalid: {value}")
+            }
+            Self::NonFinite { channel } => {
+                write!(f, "non-finite observation at channel {channel}")
             }
         }
     }
@@ -70,6 +79,9 @@ mod tests {
         }
         .to_string()
         .contains("10"));
+        assert!(DecodeError::NonFinite { channel: 7 }
+            .to_string()
+            .contains("channel 7"));
     }
 
     #[test]

@@ -156,9 +156,18 @@ impl KalmanDecoder {
 
     /// Processes one observation frame and returns the decoded intent.
     ///
+    /// Non-finite observations are rejected *before* any state update:
+    /// the filter is stateful, and a single NaN channel — exactly what
+    /// a faulty front end produces — would otherwise poison `state`
+    /// and `covariance` irrecoverably with no error. After a
+    /// [`DecodeError::NonFinite`] rejection the filter state is exactly
+    /// what it was before the call, so decoding can simply continue
+    /// (or [`KalmanDecoder::reset`] for a clean restart).
+    ///
     /// # Errors
     ///
     /// * [`DecodeError::ShapeMismatch`] for a wrong frame width.
+    /// * [`DecodeError::NonFinite`] for a NaN or infinite channel.
     /// * [`DecodeError::Singular`] if the covariance degenerates.
     pub fn step(&mut self, frame: &[f64]) -> Result<Vec2> {
         if frame.len() != self.channels() {
@@ -166,6 +175,9 @@ impl KalmanDecoder {
                 expected: self.channels(),
                 actual: frame.len(),
             });
+        }
+        if let Some(channel) = frame.iter().position(|z| !z.is_finite()) {
+            return Err(DecodeError::NonFinite { channel });
         }
         // Predict.
         let predicted = self.state * self.a;
@@ -383,6 +395,52 @@ mod tests {
         decoder.reset();
         let again = decoder.step(&obs[50]).unwrap();
         assert_eq!(after_reset, again);
+    }
+
+    /// Regression for the missing finite-input guard: a NaN observation
+    /// used to flow straight into the information-form update and leave
+    /// `state`/`covariance` permanently NaN. It is now rejected before
+    /// any state mutation, and the filter keeps working afterwards.
+    #[test]
+    fn non_finite_frames_are_rejected_without_poisoning_state() {
+        let (obs, intents) = synthetic(6, 100, 0.1, 2);
+        let mut decoder = KalmanDecoder::calibrate(&obs, &intents).unwrap();
+        let mut twin = decoder.clone();
+        decoder.step(&obs[0]).unwrap();
+        twin.step(&obs[0]).unwrap();
+
+        for (k, bad) in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY]
+            .into_iter()
+            .enumerate()
+        {
+            let mut frame = obs[1].clone();
+            frame[k + 1] = bad;
+            match decoder.step(&frame) {
+                Err(DecodeError::NonFinite { channel }) => assert_eq!(channel, k + 1),
+                other => panic!("expected NonFinite rejection, got {other:?}"),
+            }
+        }
+
+        // The rejected frames left no trace: the decoder tracks a twin
+        // that never saw them, bit for bit.
+        for frame in &obs[1..20] {
+            let a = decoder.step(frame).unwrap();
+            let b = twin.step(frame).unwrap();
+            assert_eq!(a, b, "state poisoned by a rejected frame");
+            assert!(a.x.is_finite() && a.y.is_finite());
+        }
+
+        // And reset() still returns it to a pristine start.
+        decoder.step(&[f64::NAN; 6]).unwrap_err();
+        decoder.reset();
+        let mut fresh = KalmanDecoder::calibrate(&obs, &intents).unwrap();
+        for frame in &obs[..20] {
+            assert_eq!(
+                decoder.step(frame).unwrap(),
+                fresh.step(frame).unwrap(),
+                "reset after rejection must match a fresh decoder"
+            );
+        }
     }
 
     #[test]

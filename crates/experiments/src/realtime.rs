@@ -14,6 +14,14 @@
 //! through the unified [`mindful_pipeline`] `Stage` chain with several
 //! concurrent streams fanned over the pool — the zero-allocation
 //! serving path a host-side decoder daemon would run.
+//!
+//! The streaming study runs each chain in two modes. `clean` is the
+//! bare replay → DNN path; `faulted` inserts the seeded front-end
+//! fault injector and the concealment guard in front of the DNN, so
+//! the CSV surfaces both the throughput cost of the fault layer and
+//! the per-chain fault telemetry (injected / degraded / quarantined
+//! counts) that the PR 4 graceful-degradation work threads through
+//! the per-stage telemetry.
 
 use std::path::Path;
 use std::sync::Arc;
@@ -31,6 +39,7 @@ use mindful_dnn::models::{
 };
 use mindful_pipeline::prelude::*;
 use mindful_plot::{AsciiTable, Csv};
+use mindful_rf::fault::{FaultConfig, FaultPlan};
 
 use crate::error::Result;
 use crate::output::Artifacts;
@@ -95,6 +104,24 @@ impl MeasuredThroughput {
     }
 }
 
+/// Which chain a streaming measurement drove.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamingMode {
+    /// Bare replay → DNN chain (the pre-fault-layer path).
+    Clean,
+    /// Replay → fault injector → concealment guard → DNN chain.
+    Faulted,
+}
+
+impl core::fmt::Display for StreamingMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Self::Clean => "clean",
+            Self::Faulted => "faulted",
+        })
+    }
+}
+
 /// Measured streaming throughput for one model family: the same network
 /// driven frame-by-frame through the unified `Stage` pipeline, with
 /// several concurrent streams fanned over the shared worker pool.
@@ -102,6 +129,8 @@ impl MeasuredThroughput {
 pub struct MeasuredStreaming {
     /// Model family.
     pub family: ModelFamily,
+    /// Which chain was driven.
+    pub mode: StreamingMode,
     /// Concurrent streams driven.
     pub streams: usize,
     /// Frames each stream processed.
@@ -115,6 +144,9 @@ pub struct MeasuredStreaming {
     /// Peak output-buffer bytes across all stages of one stream — the
     /// fixed memory footprint an implant port of the chain would need.
     pub peak_buffer_bytes: usize,
+    /// Fault telemetry merged over every stage of every stream (all
+    /// zero in clean mode).
+    pub faults: FaultTelemetry,
 }
 
 impl MeasuredStreaming {
@@ -229,46 +261,75 @@ fn synthetic_frames(width: usize, count: usize) -> Vec<Vec<f32>> {
         .collect()
 }
 
+/// Composite front-end fault rate driven through the faulted mode —
+/// deliberately harsher than the soak test's 2% so even the short
+/// measurement window sees every fault family.
+const STREAM_FAULT_RATE: f64 = 0.05;
+
+/// Seed for the per-stream fault plans (xor-ed with the stream index
+/// so concurrent streams draw independent fault sequences).
+const STREAM_FAULT_SEED: u64 = 0xFA_17;
+
 /// Drives each decoder family through the unified `Stage` pipeline:
 /// several replayed streams at the 128-channel base scale, fanned over
-/// the shared pool with `run_streams`, timed end to end.
+/// the shared pool with `run_streams`, timed end to end. Each family
+/// is measured twice — clean and with the fault layer inserted.
 fn measure_streaming() -> Result<Vec<MeasuredStreaming>> {
     const STREAMS: usize = 4;
     const STEPS: usize = 16;
     let threads = default_threads();
     let mut streaming = Vec::new();
-    for family in ModelFamily::ALL {
-        let arch = family.architecture(BASE_CHANNELS)?;
-        let net = Arc::new(Network::with_seeded_weights(arch, 7));
-        let width = net.architecture().input_values() as usize;
-        let frames = synthetic_frames(width, 8);
-        let mut set = StreamSet::build(STREAMS, |_stream| {
-            Ok(Pipeline::new()
-                .with_stage(ReplaySource::new(frames.clone())?)
-                .with_stage(DnnStage::shared(Arc::clone(&net), 10)?))
-        })?;
-        // Warm the set once (buffers sized, workspaces grown), then
-        // time one steady-state drive — the serving shape the
-        // `pipeline` bench measures.
-        set.drive(STEPS, threads)?;
-        let start = Instant::now();
-        let reports = set.drive(STEPS, threads)?;
-        let elapsed = start.elapsed();
-        let first = reports.first().expect("at least one stream");
-        let dnn = first
-            .telemetry
-            .iter()
-            .find(|t| t.name == "dnn")
-            .expect("chain ends in the dnn stage");
-        streaming.push(MeasuredStreaming {
-            family,
-            streams: STREAMS,
-            steps: STEPS,
-            threads: threads.get(),
-            per_frame: TimeSpan::from_seconds(elapsed.as_secs_f64() / (STREAMS * STEPS) as f64),
-            dnn_latency: TimeSpan::from_seconds(dnn.mean_latency().as_secs_f64()),
-            peak_buffer_bytes: first.telemetry.iter().map(|t| t.peak_buffer_bytes).sum(),
-        });
+    for mode in [StreamingMode::Clean, StreamingMode::Faulted] {
+        for family in ModelFamily::ALL {
+            let arch = family.architecture(BASE_CHANNELS)?;
+            let net = Arc::new(Network::with_seeded_weights(arch, 7));
+            let width = net.architecture().input_values() as usize;
+            let frames = synthetic_frames(width, 8);
+            let mut set = StreamSet::build(STREAMS, |stream| {
+                let pipeline = Pipeline::new().with_stage(ReplaySource::new(frames.clone())?);
+                let pipeline = if mode == StreamingMode::Faulted {
+                    let plan = FaultPlan::new(
+                        FaultConfig::frame_composite(STREAM_FAULT_RATE),
+                        STREAM_FAULT_SEED ^ stream as u64,
+                    )?;
+                    pipeline
+                        .with_stage(FaultStage::new(plan, 10)?)
+                        .with_stage(ConcealStage::new(width, DegradePolicy::HoldLast)?)
+                } else {
+                    pipeline
+                };
+                Ok(pipeline.with_stage(DnnStage::shared(Arc::clone(&net), 10)?))
+            })?;
+            // Warm the set once (buffers sized, workspaces grown), then
+            // time one steady-state drive — the serving shape the
+            // `pipeline` bench measures.
+            set.drive(STEPS, threads)?;
+            let start = Instant::now();
+            let reports = set.drive(STEPS, threads)?;
+            let elapsed = start.elapsed();
+            let first = reports.first().expect("at least one stream");
+            let dnn = first
+                .telemetry
+                .iter()
+                .find(|t| t.name == "dnn")
+                .expect("chain ends in the dnn stage");
+            let faults = reports
+                .iter()
+                .flat_map(|r| &r.telemetry)
+                .filter_map(|t| t.faults)
+                .fold(FaultTelemetry::default(), FaultTelemetry::merged);
+            streaming.push(MeasuredStreaming {
+                family,
+                mode,
+                streams: STREAMS,
+                steps: STEPS,
+                threads: threads.get(),
+                per_frame: TimeSpan::from_seconds(elapsed.as_secs_f64() / (STREAMS * STEPS) as f64),
+                dnn_latency: TimeSpan::from_seconds(dnn.mean_latency().as_secs_f64()),
+                peak_buffer_bytes: first.telemetry.iter().map(|t| t.peak_buffer_bytes).sum(),
+                faults,
+            });
+        }
     }
     Ok(streaming)
 }
@@ -355,6 +416,7 @@ pub fn render(study: &Realtime, dir: &Path) -> Result<Artifacts> {
 
     let mut streaming_csv = Csv::new(&[
         "model",
+        "mode",
         "streams",
         "steps",
         "threads",
@@ -362,6 +424,9 @@ pub fn render(study: &Realtime, dir: &Path) -> Result<Artifacts> {
         "kframes_per_sec",
         "dnn_us_per_frame",
         "peak_buffer_bytes",
+        "faults_injected",
+        "frames_degraded",
+        "frames_quarantined",
     ]);
     artifacts.report(format!(
         "\nmeasured streaming pipeline ({} streams x {} frames at {BASE_CHANNELS} channels, \
@@ -372,6 +437,7 @@ pub fn render(study: &Realtime, dir: &Path) -> Result<Artifacts> {
     for m in &study.streaming {
         streaming_csv.push(&[
             m.family.to_string(),
+            m.mode.to_string(),
             m.streams.to_string(),
             m.steps.to_string(),
             m.threads.to_string(),
@@ -379,14 +445,22 @@ pub fn render(study: &Realtime, dir: &Path) -> Result<Artifacts> {
             format!("{:.2}", m.frames_per_second() / 1e3),
             format!("{:.1}", m.dnn_latency.microseconds()),
             m.peak_buffer_bytes.to_string(),
+            m.faults.injected.to_string(),
+            m.faults.degraded.to_string(),
+            m.faults.quarantined.to_string(),
         ]);
         artifacts.report(format!(
-            "  {}: {:.1} us/frame wall ({:.1} us in the DNN stage), \
-             {} peak buffer bytes per stream",
+            "  {} ({}): {:.1} us/frame wall ({:.1} us in the DNN stage), \
+             {} peak buffer bytes per stream, \
+             {} faults injected / {} degraded / {} quarantined",
             m.family,
+            m.mode,
             m.per_frame.microseconds(),
             m.dnn_latency.microseconds(),
             m.peak_buffer_bytes,
+            m.faults.injected,
+            m.faults.degraded,
+            m.faults.quarantined,
         ));
     }
     artifacts.write_file(dir, "realtime_streaming.csv", streaming_csv.as_str())?;
@@ -397,13 +471,21 @@ pub fn render(study: &Realtime, dir: &Path) -> Result<Artifacts> {
 mod tests {
     use super::*;
 
+    /// The study is deterministic apart from wall-clock timings, and
+    /// regenerating it runs real inference — share one copy across the
+    /// whole test module.
+    fn study() -> &'static Realtime {
+        static STUDY: std::sync::OnceLock<Realtime> = std::sync::OnceLock::new();
+        STUDY.get_or_init(|| generate().unwrap())
+    }
+
     #[test]
     fn every_deployment_is_far_under_the_reaction_time() {
         // The per-sample deadline (500 us) is ~360x tighter than the
         // reaction-time bar, so anything that decodes in real time also
         // reacts in time — the paper's point that power, not latency,
         // binds.
-        let study = generate().unwrap();
+        let study = study();
         assert!(!study.rows.is_empty());
         for row in &study.rows {
             assert!(row.meets_reaction_time(), "{} {}", row.name, row.family);
@@ -413,7 +495,7 @@ mod tests {
 
     #[test]
     fn inference_meets_the_per_sample_deadline() {
-        let study = generate().unwrap();
+        let study = study();
         for row in &study.rows {
             assert!(row.inference <= row.family.deadline());
         }
@@ -421,7 +503,7 @@ mod tests {
 
     #[test]
     fn transmission_is_the_smallest_component() {
-        let study = generate().unwrap();
+        let study = study();
         for row in &study.rows {
             assert!(row.transmission < row.window);
             assert!(row.transmission < row.inference);
@@ -431,7 +513,7 @@ mod tests {
     #[test]
     fn render_writes_the_table() {
         let dir = std::env::temp_dir().join("mindful-realtime-test");
-        let artifacts = render(&generate().unwrap(), &dir).unwrap();
+        let artifacts = render(study(), &dir).unwrap();
         assert_eq!(artifacts.files().len(), 3);
         assert!(artifacts.report_text().contains("reaction time"));
         assert!(artifacts
@@ -445,7 +527,7 @@ mod tests {
 
     #[test]
     fn measured_throughput_runs_both_families_consistently() {
-        let study = generate().unwrap();
+        let study = study();
         assert_eq!(study.measured.len(), ModelFamily::ALL.len());
         for m in &study.measured {
             assert!(m.per_sample.seconds() > 0.0, "{}", m.family);
@@ -459,9 +541,20 @@ mod tests {
     }
 
     #[test]
-    fn streaming_pipeline_measures_every_family() {
-        let study = generate().unwrap();
-        assert_eq!(study.streaming.len(), ModelFamily::ALL.len());
+    fn streaming_pipeline_measures_every_family_in_both_modes() {
+        let study = study();
+        assert_eq!(study.streaming.len(), 2 * ModelFamily::ALL.len());
+        for mode in [StreamingMode::Clean, StreamingMode::Faulted] {
+            for family in ModelFamily::ALL {
+                assert!(
+                    study
+                        .streaming
+                        .iter()
+                        .any(|m| m.family == family && m.mode == mode),
+                    "{family} {mode} row missing"
+                );
+            }
+        }
         for m in &study.streaming {
             assert!(m.per_frame.seconds() > 0.0, "{}", m.family);
             assert!(m.dnn_latency.seconds() > 0.0, "{}", m.family);
@@ -471,6 +564,35 @@ mod tests {
                 m.family
             );
             assert!(m.frames_per_second() > 0.0);
+        }
+    }
+
+    #[test]
+    fn clean_mode_reports_zero_faults_and_faulted_mode_injects() {
+        let study = study();
+        for m in &study.streaming {
+            match m.mode {
+                StreamingMode::Clean => {
+                    assert_eq!(
+                        m.faults,
+                        FaultTelemetry::default(),
+                        "{}: clean chain carries no fault telemetry",
+                        m.family
+                    );
+                }
+                StreamingMode::Faulted => {
+                    // 4 streams x 32 frames (warm + timed) at a 5%
+                    // composite rate: the plan fires with overwhelming
+                    // probability, and every dropped frame must be
+                    // accounted for by the concealment stage.
+                    assert!(m.faults.injected > 0, "{}: no faults injected", m.family);
+                    assert!(
+                        m.faults.degraded + m.faults.quarantined > 0,
+                        "{}: fault layer concealed nothing",
+                        m.family
+                    );
+                }
+            }
         }
     }
 }

@@ -32,12 +32,16 @@
 //! ```
 
 mod error;
+mod fault;
 mod frame;
 mod stage;
 mod stages;
 mod stream;
 
 pub use error::{PipelineError, Result};
+pub use fault::{
+    ConcealStage, DegradePolicy, FaultStage, FaultTelemetry, LinkStage, VALUE_SATURATION,
+};
 pub use frame::{Frame, FrameBuf, FrameKind, StageOutput};
 pub use stage::{Pipeline, Stage, StageTelemetry};
 pub use stages::{
@@ -48,6 +52,7 @@ pub use stream::{run_streams, StreamReport, StreamSet};
 
 /// Convenient glob-import of the most used items.
 pub mod prelude {
+    pub use crate::fault::{ConcealStage, DegradePolicy, FaultStage, FaultTelemetry, LinkStage};
     pub use crate::stages::{
         BinStage, DnnStage, IntentSchedule, KalmanStage, PacketizeStage, ReplaySource, SenseStage,
         SpikeStage, WienerStage,

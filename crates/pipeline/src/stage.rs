@@ -3,6 +3,7 @@
 use std::time::{Duration, Instant};
 
 use crate::error::{PipelineError, Result};
+use crate::fault::FaultTelemetry;
 use crate::frame::{Frame, FrameBuf, StageOutput};
 
 /// One step of the implant dataflow.
@@ -27,6 +28,31 @@ pub trait Stage: Send {
     /// Stage-specific; composed substrate errors are converted into
     /// [`PipelineError`].
     fn process(&mut self, input: &Frame<'_>, out: &mut FrameBuf) -> Result<StageOutput>;
+
+    /// Flushes internal state at end-of-stream.
+    ///
+    /// Called repeatedly by [`Pipeline::finish`] until it returns
+    /// [`StageOutput::Pending`]; each [`StageOutput::Emitted`] frame is
+    /// cascaded through the downstream stages like a normal step.
+    /// Stages that buffer frames (a partially filled bin window, an ARQ
+    /// playout queue) override this; the default has nothing to flush.
+    ///
+    /// # Errors
+    ///
+    /// Stage-specific, as for [`Stage::process`].
+    fn finish(&mut self, out: &mut FrameBuf) -> Result<StageOutput> {
+        let _ = out;
+        Ok(StageOutput::Pending)
+    }
+
+    /// A snapshot of the stage's fault counters, if it has any.
+    ///
+    /// Fault-aware stages (injectors, links, concealers) override this;
+    /// the driver copies the snapshot into
+    /// [`StageTelemetry::faults`] after every step.
+    fn fault_telemetry(&self) -> Option<FaultTelemetry> {
+        None
+    }
 }
 
 /// Per-stage counters accumulated by the pipeline driver.
@@ -44,6 +70,9 @@ pub struct StageTelemetry {
     pub bytes_out: u64,
     /// Peak backing storage of the stage's output buffer.
     pub peak_buffer_bytes: usize,
+    /// Latest fault-counter snapshot ([`None`] for fault-unaware
+    /// stages).
+    pub faults: Option<FaultTelemetry>,
 }
 
 impl StageTelemetry {
@@ -55,6 +84,7 @@ impl StageTelemetry {
             busy: Duration::ZERO,
             bytes_out: 0,
             peak_buffer_bytes: 0,
+            faults: None,
         }
     }
 
@@ -66,6 +96,17 @@ impl StageTelemetry {
             if let Frame::Bytes(wire) = out.as_frame() {
                 self.bytes_out += wire.len() as u64;
             }
+        }
+        self.peak_buffer_bytes = self.peak_buffer_bytes.max(out.capacity_bytes());
+    }
+
+    /// Accounts a frame produced by [`Stage::finish`] — an emission
+    /// without a corresponding input frame.
+    fn record_flush(&mut self, elapsed: Duration, out: &FrameBuf) {
+        self.frames_out += 1;
+        self.busy += elapsed;
+        if let Frame::Bytes(wire) = out.as_frame() {
+            self.bytes_out += wire.len() as u64;
         }
         self.peak_buffer_bytes = self.peak_buffer_bytes.max(out.capacity_bytes());
     }
@@ -176,6 +217,7 @@ impl Pipeline {
             let start = Instant::now();
             let outcome = slot.stage.process(&frame, &mut slot.out)?;
             slot.telemetry.record(start.elapsed(), outcome, &slot.out);
+            slot.telemetry.faults = slot.stage.fault_telemetry();
             if outcome == StageOutput::Pending {
                 return Ok(None);
             }
@@ -183,10 +225,75 @@ impl Pipeline {
         Ok(self.slots.last().map(|s| &s.out))
     }
 
+    /// Cascades the frame already sitting in slot `start - 1`'s buffer
+    /// through stages `start..`. Returns whether it reached the end.
+    fn cascade(&mut self, start: usize) -> Result<bool> {
+        for i in start..self.slots.len() {
+            let (before, rest) = self.slots.split_at_mut(i);
+            let slot = &mut rest[0];
+            let frame = before
+                .last()
+                .expect("cascade starts after an emitting slot")
+                .out
+                .as_frame();
+            let t = Instant::now();
+            let outcome = slot.stage.process(&frame, &mut slot.out)?;
+            slot.telemetry.record(t.elapsed(), outcome, &slot.out);
+            slot.telemetry.faults = slot.stage.fault_telemetry();
+            if outcome == StageOutput::Pending {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Flushes every stage at end-of-stream, front to back.
+    ///
+    /// Each stage's [`Stage::finish`] is called until it reports
+    /// [`StageOutput::Pending`]; every frame it flushes is cascaded
+    /// through the downstream stages exactly like a pushed frame (and
+    /// may in turn top up *their* windows before they are flushed).
+    /// Returns how many flushed frames emerged from the final stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Empty`] for a stage-less pipeline and
+    /// propagates the first stage error.
+    pub fn finish(&mut self) -> Result<u64> {
+        if self.slots.is_empty() {
+            return Err(PipelineError::Empty);
+        }
+        let mut completed = 0;
+        for i in 0..self.slots.len() {
+            loop {
+                let slot = &mut self.slots[i];
+                let t = Instant::now();
+                let outcome = slot.stage.finish(&mut slot.out)?;
+                let elapsed = t.elapsed();
+                slot.telemetry.faults = slot.stage.fault_telemetry();
+                if outcome == StageOutput::Pending {
+                    break;
+                }
+                slot.telemetry.record_flush(elapsed, &slot.out);
+                if self.cascade(i + 1)? {
+                    completed += 1;
+                }
+            }
+        }
+        Ok(completed)
+    }
+
     /// A snapshot of every stage's counters, in chain order.
     #[must_use]
     pub fn telemetry(&self) -> Vec<StageTelemetry> {
         self.slots.iter().map(|s| s.telemetry.clone()).collect()
+    }
+
+    /// A borrowed view of the final stage's output buffer (what the
+    /// last emitted or flushed frame left there).
+    #[must_use]
+    pub fn last_output(&self) -> Option<&FrameBuf> {
+        self.slots.last().map(|s| &s.out)
     }
 }
 
@@ -323,5 +430,68 @@ mod tests {
     fn mean_latency_is_zero_before_any_frame() {
         let t = StageTelemetry::new("idle");
         assert_eq!(t.mean_latency(), Duration::ZERO);
+    }
+
+    /// Absorbs every frame and only releases them at end-of-stream.
+    struct Absorber {
+        held: Vec<u16>,
+    }
+
+    impl Stage for Absorber {
+        fn name(&self) -> &'static str {
+            "absorber"
+        }
+
+        fn process(&mut self, input: &Frame<'_>, _out: &mut FrameBuf) -> Result<StageOutput> {
+            let Frame::Codes(codes) = input else {
+                return Err(PipelineError::UnexpectedFrame {
+                    stage: self.name(),
+                    actual: input.kind(),
+                });
+            };
+            self.held.extend_from_slice(codes);
+            Ok(StageOutput::Pending)
+        }
+
+        fn finish(&mut self, out: &mut FrameBuf) -> Result<StageOutput> {
+            if self.held.is_empty() {
+                return Ok(StageOutput::Pending);
+            }
+            out.begin_codes().push(self.held.remove(0));
+            Ok(StageOutput::Emitted)
+        }
+    }
+
+    #[test]
+    fn finish_flushes_buffered_frames_through_downstream_stages() {
+        let mut p = Pipeline::new()
+            .with_stage(Absorber { held: Vec::new() })
+            .with_stage(Doubler);
+        for k in 1..=3_u16 {
+            assert!(p.push(Frame::Codes(&[k])).unwrap().is_none());
+        }
+        let flushed = p.finish().unwrap();
+        assert_eq!(flushed, 3, "every held frame reaches the end");
+        let out = p.last_output().unwrap();
+        assert_eq!(out.as_frame(), Frame::Codes(&[6]), "last flush, doubled");
+        let t = p.telemetry();
+        assert_eq!(t[0].frames_in, 3);
+        assert_eq!(t[0].frames_out, 3, "flushes count as emissions");
+        assert_eq!(t[1].frames_in, 3, "cascade drove the downstream stage");
+        assert_eq!(t[1].frames_out, 3);
+        // A second finish is a no-op; stages without buffered state
+        // flush nothing.
+        assert_eq!(p.finish().unwrap(), 0);
+        assert!(matches!(
+            Pipeline::new().finish(),
+            Err(PipelineError::Empty)
+        ));
+    }
+
+    #[test]
+    fn default_stage_has_no_fault_telemetry() {
+        let mut p = Pipeline::new().with_stage(Doubler);
+        p.push(Frame::Codes(&[1])).unwrap();
+        assert_eq!(p.telemetry()[0].faults, None);
     }
 }

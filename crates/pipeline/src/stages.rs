@@ -223,6 +223,16 @@ impl Stage for BinStage {
             Ok(StageOutput::Pending)
         }
     }
+
+    /// Flushes a partially filled trailing window, so end-of-stream
+    /// does not silently drop up to `window - 1` samples.
+    fn finish(&mut self, out: &mut FrameBuf) -> Result<StageOutput> {
+        if self.accumulator.flush_into(out.begin_counts()) > 0 {
+            Ok(StageOutput::Emitted)
+        } else {
+            Ok(StageOutput::Pending)
+        }
+    }
 }
 
 /// Streaming Kalman decoding of binned counts into a 2-D intent.

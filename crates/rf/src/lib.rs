@@ -22,8 +22,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod arq;
 pub mod efficiency;
 mod error;
+pub mod fault;
 pub mod linkbudget;
 pub mod modem;
 pub mod modulation;
@@ -37,9 +39,13 @@ pub use error::{Result, RfError};
 
 /// Convenient glob-import of the most used items.
 pub mod prelude {
+    pub use crate::arq::{ArqConfig, ArqLink, ArqReceiver, ArqStats, Playout, TxWindow};
     pub use crate::efficiency::{
         max_channels_at_efficiency, qam_operating_point, QamOperatingPoint, CURRENT_QAM_EFFICIENCY,
         SHORT_TERM_QAM_EFFICIENCY,
+    };
+    pub use crate::fault::{
+        FaultConfig, FaultCounters, FaultPlan, FrameFault, WireFault, WireFaultInjector,
     };
     pub use crate::linkbudget::LinkBudget;
     pub use crate::modem::{AwgnChannel, Modem, Symbol};

@@ -80,13 +80,22 @@ pub fn q(x: f64) -> f64 {
 ///
 /// Uses bisection on the monotone `Q`, accurate to ~1e-12 in `x`.
 ///
-/// # Panics
-///
-/// Panics in debug builds if `p` is outside `(0, 1)`; in release builds
-/// the result is clamped to the search interval.
+/// Out-of-domain inputs *saturate* instead of silently returning a
+/// bisection artifact (the pre-fix behaviour in release builds, which
+/// poisoned link budgets): `p ≤ 0` returns `+∞` (an impossibly clean
+/// channel needs unbounded SNR), `p ≥ 1` returns `−∞`, and NaN
+/// propagates as NaN. Use [`q_inv_checked`] to get an error instead.
 #[must_use]
 pub fn q_inv(p: f64) -> f64 {
-    debug_assert!(p > 0.0 && p < 1.0, "q_inv requires p in (0, 1)");
+    if p.is_nan() {
+        return f64::NAN;
+    }
+    if p <= 0.0 {
+        return f64::INFINITY;
+    }
+    if p >= 1.0 {
+        return f64::NEG_INFINITY;
+    }
     let (mut lo, mut hi) = (-10.0_f64, 40.0_f64);
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
@@ -97,6 +106,23 @@ pub fn q_inv(p: f64) -> f64 {
         }
     }
     0.5 * (lo + hi)
+}
+
+/// [`q_inv`] with domain checking: rejects `p` outside `(0, 1)` (and
+/// NaN) instead of saturating.
+///
+/// # Errors
+///
+/// Returns [`crate::RfError::InvalidParameter`] when `p` is not a
+/// probability strictly inside `(0, 1)`.
+pub fn q_inv_checked(p: f64) -> crate::Result<f64> {
+    if !(p > 0.0 && p < 1.0) {
+        return Err(crate::RfError::InvalidParameter {
+            name: "q_inv probability",
+            value: p,
+        });
+    }
+    Ok(q_inv(p))
 }
 
 /// Converts a linear power ratio to decibels.
@@ -184,6 +210,37 @@ mod tests {
         // Q(1.2816) ≈ 0.1, Q(4.7534) ≈ 1e-6.
         assert!((q_inv(0.1) - 1.281_551_565_5).abs() < 1e-6);
         assert!((q_inv(1e-6) - 4.753_424_3).abs() < 1e-5);
+    }
+
+    /// Regression for the release-mode `q_inv` domain bug: out-of-range
+    /// probabilities used to `debug_assert!` (a no-op in release builds)
+    /// and then silently return a clamped bisection artifact. They now
+    /// saturate identically in every build profile.
+    #[test]
+    fn q_inv_saturates_outside_its_domain() {
+        assert_eq!(q_inv(0.0), f64::INFINITY);
+        assert_eq!(q_inv(-3.5), f64::INFINITY);
+        assert_eq!(q_inv(f64::NEG_INFINITY), f64::INFINITY);
+        assert_eq!(q_inv(1.0), f64::NEG_INFINITY);
+        assert_eq!(q_inv(7.0), f64::NEG_INFINITY);
+        assert_eq!(q_inv(f64::INFINITY), f64::NEG_INFINITY);
+        assert!(q_inv(f64::NAN).is_nan());
+        // The saturated values are the correct limits: they are ordered
+        // against every in-domain output.
+        let in_domain = q_inv(1e-12);
+        assert!(in_domain < q_inv(0.0) && in_domain > q_inv(1.0));
+    }
+
+    #[test]
+    fn q_inv_checked_rejects_what_q_inv_saturates() {
+        for bad in [0.0, -1.0, 1.0, 2.0, f64::NAN, f64::INFINITY] {
+            assert!(q_inv_checked(bad).is_err(), "p = {bad} must be rejected");
+        }
+        for good in [1e-9, 1e-6, 0.1, 0.4999, 0.9] {
+            let x = q_inv_checked(good).unwrap();
+            assert_eq!(x, q_inv(good), "checked agrees in-domain at p = {good}");
+            assert!(x.is_finite());
+        }
     }
 
     #[test]
