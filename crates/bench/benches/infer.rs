@@ -25,7 +25,7 @@ const BATCH_CHANNELS: u64 = 256;
 const BATCH_SAMPLES: usize = 48;
 
 fn quick() -> bool {
-    std::env::var_os("MINDFUL_BENCH_QUICK").is_some()
+    mindful_core::env::flag("MINDFUL_BENCH_QUICK", false)
 }
 
 fn network(channels: u64) -> Network {

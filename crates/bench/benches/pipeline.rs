@@ -32,7 +32,7 @@ const STEPS: usize = 32;
 const REPLAY: usize = 8;
 
 fn quick() -> bool {
-    std::env::var_os("MINDFUL_BENCH_QUICK").is_some()
+    mindful_core::env::flag("MINDFUL_BENCH_QUICK", false)
 }
 
 /// Pool workers for the serving comparison: the machine's parallelism,

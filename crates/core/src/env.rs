@@ -1,0 +1,82 @@
+//! Shared environment-knob parsing.
+//!
+//! Every boolean `MINDFUL_*` knob (`MINDFUL_SOAK_QUICK`,
+//! `MINDFUL_BENCH_QUICK`, `MINDFUL_OBS`, …) goes through one parser so
+//! they all accept the same spellings and — crucially — all *reject*
+//! garbage the same way: an unparsable value defers to the knob's
+//! built-in default instead of being silently (mis)interpreted. This
+//! extends the `MINDFUL_SWEEP_THREADS` fix pattern
+//! ([`crate::pool::thread_override`]): pure parser split from the
+//! environment read, so the garbage paths are testable without racing
+//! on the process environment. The full knob table lives in
+//! EXPERIMENTS.md.
+
+/// Parses a boolean knob value.
+///
+/// Accepted (case-insensitive, surrounding whitespace ignored):
+/// `1` / `true` / `on` / `yes` → `Some(true)`;
+/// `0` / `false` / `off` / `no` → `Some(false)`.
+/// Everything else — empty strings included — returns `None`.
+#[must_use]
+pub fn parse_flag(raw: &str) -> Option<bool> {
+    let trimmed = raw.trim();
+    if trimmed.eq_ignore_ascii_case("1")
+        || trimmed.eq_ignore_ascii_case("true")
+        || trimmed.eq_ignore_ascii_case("on")
+        || trimmed.eq_ignore_ascii_case("yes")
+    {
+        Some(true)
+    } else if trimmed.eq_ignore_ascii_case("0")
+        || trimmed.eq_ignore_ascii_case("false")
+        || trimmed.eq_ignore_ascii_case("off")
+        || trimmed.eq_ignore_ascii_case("no")
+    {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Reads the boolean knob `name` from the environment, falling back to
+/// `default` when the variable is unset or fails [`parse_flag`].
+#[must_use]
+pub fn flag(name: &str, default: bool) -> bool {
+    std::env::var(name)
+        .ok()
+        .as_deref()
+        .and_then(parse_flag)
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flag_accepts_the_documented_spellings() {
+        for on in ["1", "true", "TRUE", "on", "On", "yes", " 1 ", "\ttrue\n"] {
+            assert_eq!(parse_flag(on), Some(true), "{on:?}");
+        }
+        for off in ["0", "false", "FALSE", "off", "Off", "no", " 0 "] {
+            assert_eq!(parse_flag(off), Some(false), "{off:?}");
+        }
+    }
+
+    /// The audit contract: garbage never flips a knob — it defers to
+    /// the default.
+    #[test]
+    fn parse_flag_rejects_garbage() {
+        for garbage in [
+            "", "   ", "\t", "2", "-1", "10", "yep", "enable", "quick", "0.0", "true!", "on off",
+        ] {
+            assert_eq!(parse_flag(garbage), None, "{garbage:?}");
+        }
+    }
+
+    #[test]
+    fn flag_falls_back_to_the_default_when_unset() {
+        // A name no test environment sets; both defaults pass through.
+        assert!(flag("MINDFUL_TEST_KNOB_THAT_IS_NEVER_SET", true));
+        assert!(!flag("MINDFUL_TEST_KNOB_THAT_IS_NEVER_SET", false));
+    }
+}

@@ -25,6 +25,10 @@
 //!   by the sweep engine, batched DNN inference, and Monte-Carlo BER.
 //! * [`sweep`] — the parallel batched sweep engine driving Figs. 5–7
 //!   and 10 and the `explore` experiment.
+//! * [`obs`] — zero-overhead observability: sharded metrics registry,
+//!   per-thread span tracing, and snapshot exporters.
+//! * [`mod@env`] — shared parsing for boolean `MINDFUL_*` environment
+//!   knobs (see EXPERIMENTS.md for the knob table).
 //!
 //! ## Quick start
 //!
@@ -46,9 +50,11 @@
 
 pub mod budget;
 pub mod dataflow;
+pub mod env;
 mod error;
 pub mod explore;
 pub mod geometry;
+pub mod obs;
 pub mod pool;
 pub mod regimes;
 pub mod scaling;
@@ -63,6 +69,7 @@ pub use error::{CoreError, Result};
 pub mod prelude {
     pub use crate::budget::{check_safety, power_budget, SAFE_POWER_DENSITY};
     pub use crate::dataflow::Dataflow;
+    pub use crate::obs::{Registry, Snapshot};
     pub use crate::pool::{default_threads, par_map, par_map_init};
     pub use crate::regimes::{ScalingRegime, SplitDesign};
     pub use crate::scaling::{scale_to_channels, scale_to_standard, ScaledSoc};

@@ -1,0 +1,40 @@
+//! Zero-overhead observability: metrics registry, span tracing, and
+//! exporters.
+//!
+//! The design splits the cost of observation into two phases so the
+//! hot path never pays for the cold one:
+//!
+//! * **Setup** (allocating, locking): [`Registry::counter`] /
+//!   [`Registry::gauge`] / [`Registry::histogram`] register named
+//!   metrics and hand back cheap cloneable handles.
+//! * **Recording** (lock-free, allocation-free): handles write through
+//!   relaxed atomics into per-worker cache-padded shards
+//!   ([`metrics::SHARDS`]); histograms bin into fixed log₂ buckets.
+//!   Span guards ([`span()`]) stamp enter/exit times into a
+//!   `const`-initialized per-thread ring. The pipeline and inference
+//!   engine's zero-allocation proofs hold with all of this enabled.
+//! * **Scraping** (allocating, reader-side): [`Registry::snapshot`]
+//!   merges shards into a deterministic, name-sorted [`Snapshot`] that
+//!   exports as JSON lines ([`Snapshot::to_jsonl`], round-trippable via
+//!   [`Snapshot::from_jsonl`]), CSV ([`Snapshot::to_csv`]), or a human
+//!   `Display` summary.
+//!
+//! Metrics (always compiled) answer "how much / how often"; spans
+//! (compiled out without the `obs` feature, switchable at run time via
+//! [`OBS_ENV`]) answer "where did the time go" for one thread's recent
+//! work. See DESIGN.md §10 for the architecture discussion.
+
+pub mod export;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use export::ExportParseError;
+pub use metrics::{
+    bucket_index, bucket_upper_edge, Counter, Gauge, Histogram, HistogramState, BUCKETS, SHARDS,
+};
+pub use registry::{CounterSample, GaugeSample, HistogramSample, Registry, Snapshot};
+pub use span::{
+    clear_spans, drain_spans, obs_override, span, spans_enabled, SpanGuard, SpanRecord, OBS_ENV,
+    SPAN_RING_CAPACITY,
+};

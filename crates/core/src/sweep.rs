@@ -344,6 +344,63 @@ impl SweepGrid {
         })
     }
 
+    /// [`Self::evaluate_cached`] that additionally records engine
+    /// metrics into `registry` under `prefix`:
+    ///
+    /// * `{prefix}.points` (counter) — points evaluated, cumulative.
+    /// * `{prefix}.evaluations` (counter) — sweep calls, cumulative.
+    /// * `{prefix}.cache_hits` / `{prefix}.cache_misses` (gauges) —
+    ///   mirror of the cache's cumulative counters after this sweep.
+    /// * `{prefix}.eval_ns` (histogram) — wall time per sweep call.
+    /// * `{prefix}.points_per_sec` (gauge) — this sweep's throughput;
+    ///   the high-water mark keeps the best rate seen.
+    ///
+    /// The result is identical to [`Self::evaluate_cached`]; failed
+    /// sweeps record nothing but the elapsed time.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::evaluate_cached`].
+    pub fn evaluate_observed(
+        &self,
+        cache: &ProjectionCache,
+        threads: NonZeroUsize,
+        registry: &crate::obs::Registry,
+        prefix: &str,
+    ) -> Result<SweepResult> {
+        let _span = crate::obs::span("sweep.evaluate");
+        let start = std::time::Instant::now();
+        let result = self.evaluate_cached(cache, threads);
+        let elapsed = start.elapsed();
+        registry
+            .histogram(&format!("{prefix}.eval_ns"))
+            .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        if let Ok(result) = &result {
+            registry
+                .counter(&format!("{prefix}.points"))
+                .add(result.len() as u64);
+            registry
+                .counter(&format!("{prefix}.evaluations"))
+                .increment();
+            registry
+                .gauge(&format!("{prefix}.cache_hits"))
+                .set(result.cache_hits());
+            registry
+                .gauge(&format!("{prefix}.cache_misses"))
+                .set(result.cache_misses());
+            let secs = elapsed.as_secs_f64();
+            let rate = if secs > 0.0 {
+                (result.len() as f64 / secs) as u64
+            } else {
+                u64::MAX
+            };
+            registry
+                .gauge(&format!("{prefix}.points_per_sec"))
+                .set(rate);
+        }
+        result
+    }
+
     /// Projects every cell under its regime with the default worker
     /// count, returning raw [`Projection`]s in grid order.
     ///
@@ -650,6 +707,47 @@ mod tests {
             .efficiencies([1.0, 0.5, 0.2])
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn evaluate_observed_matches_plain_and_records_engine_metrics() {
+        let grid = toy_grid();
+        let registry = crate::obs::Registry::new();
+        let cache = ProjectionCache::new();
+        let observed = grid
+            .evaluate_observed(&cache, ONE, &registry, "sweep")
+            .unwrap();
+        let plain = grid.evaluate_with_threads(ONE).unwrap();
+        assert_eq!(observed.points(), plain.points());
+        let s = registry.snapshot();
+        assert_eq!(s.counter("sweep.points"), Some(grid.len() as u64));
+        assert_eq!(s.counter("sweep.evaluations"), Some(1));
+        assert_eq!(
+            s.gauge("sweep.cache_hits").map(|(v, _)| v),
+            Some(observed.cache_hits())
+        );
+        assert_eq!(
+            s.gauge("sweep.cache_misses").map(|(v, _)| v),
+            Some(observed.cache_misses())
+        );
+        assert_eq!(s.histogram("sweep.eval_ns").unwrap().count, 1);
+        assert!(s.gauge("sweep.points_per_sec").unwrap().0 > 0);
+        // A second sweep through the same warm cache accumulates the
+        // counters and refreshes the gauges.
+        let again = grid
+            .evaluate_observed(&cache, ONE, &registry, "sweep")
+            .unwrap();
+        let s = registry.snapshot();
+        assert_eq!(s.counter("sweep.points"), Some(2 * grid.len() as u64));
+        assert_eq!(s.counter("sweep.evaluations"), Some(2));
+        assert_eq!(
+            s.gauge("sweep.cache_hits").map(|(v, _)| v),
+            Some(again.cache_hits())
+        );
+        assert!(
+            again.cache_hits() > observed.cache_hits(),
+            "warm cache turns the second sweep into hits"
+        );
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Property-based tests for the observability primitives: sharded
+//! counters and histograms must merge to exactly what single-threaded
+//! recording of the same operations produces, power-of-two bucket
+//! edges must be exact, and saturation at `u64::MAX` must never wrap.
+
+use std::sync::Arc;
+
+use mindful_core::obs::{
+    bucket_index, bucket_upper_edge, Counter, Histogram, HistogramState, Registry, BUCKETS, SHARDS,
+};
+use proptest::prelude::*;
+
+/// The single-threaded oracle: folds a value list into the state a
+/// histogram must merge to, using plain arithmetic.
+fn serial_histogram(values: &[u64]) -> HistogramState {
+    let mut state = HistogramState::empty();
+    for &v in values {
+        state.count += 1;
+        state.sum = state.sum.saturating_add(v);
+        state.min = state.min.min(v);
+        state.max = state.max.max(v);
+        state.buckets[bucket_index(v)] += 1;
+    }
+    state
+}
+
+proptest! {
+    /// Scattering adds across arbitrary shards merges to the exact
+    /// serial sum — shard assignment is a performance detail, never a
+    /// semantic one.
+    #[test]
+    fn sharded_counter_merges_to_the_serial_sum(
+        ops in prop::collection::vec((0_usize..4 * SHARDS, 0_u64..1 << 32), 0..200),
+    ) {
+        let counter = Counter::new();
+        let mut serial = 0_u64;
+        for &(shard, n) in &ops {
+            counter.add_to_shard(shard, n);
+            serial += n;
+        }
+        prop_assert_eq!(counter.value(), serial);
+    }
+
+    /// Scattering recordings across arbitrary shards merges to the
+    /// identical state as recording everything into one shard: count,
+    /// sum, min, max, and every bucket.
+    #[test]
+    fn sharded_histogram_merges_to_the_serial_state(
+        ops in prop::collection::vec((0_usize..4 * SHARDS, any::<u64>()), 0..200),
+    ) {
+        let sharded = Histogram::new();
+        let single = Histogram::new();
+        let values: Vec<u64> = ops.iter().map(|&(_, v)| v).collect();
+        for &(shard, v) in &ops {
+            sharded.record_to_shard(shard, v);
+            single.record_to_shard(0, v);
+        }
+        let merged = sharded.state();
+        prop_assert_eq!(&merged, &single.state());
+        prop_assert_eq!(&merged, &serial_histogram(&values));
+        prop_assert_eq!(merged.count, values.len() as u64);
+    }
+
+    /// Power-of-two edges are exact: `2^k - 1` is the inclusive upper
+    /// edge of bucket `k` and `2^k` opens bucket `k + 1` — off-by-one
+    /// here would silently misreport every latency quantile.
+    #[test]
+    fn power_of_two_bucket_edges_are_exact(k in 0_u32..64) {
+        let v = 1_u64 << k;
+        prop_assert_eq!(bucket_index(v), k as usize + 1);
+        prop_assert_eq!(bucket_index(v - 1), if v == 1 { 0 } else { k as usize });
+        if k < 63 {
+            prop_assert_eq!(bucket_upper_edge(k as usize + 1), 2 * v - 1);
+        }
+        prop_assert!(bucket_upper_edge(bucket_index(v)) >= v);
+        prop_assert!(bucket_upper_edge(bucket_index(v) - 1) < v);
+    }
+
+    /// Every value lands in exactly the bucket whose half-open decade
+    /// contains it, and the quantile bound from a single recording is
+    /// the recorded value itself (clamped by max, not the decade edge).
+    #[test]
+    fn bucket_index_respects_its_documented_decades(v in any::<u64>()) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < BUCKETS);
+        prop_assert!(v <= bucket_upper_edge(idx));
+        if idx > 0 {
+            prop_assert!(v > bucket_upper_edge(idx - 1));
+        }
+        let h = Histogram::new();
+        h.record_to_shard(0, v);
+        prop_assert_eq!(h.state().quantile_upper_bound(1.0), Some(v));
+    }
+
+    /// The registry path is the same arithmetic: handles fetched by
+    /// name accumulate across shards to the serial totals, and the
+    /// snapshot reports them unchanged.
+    #[test]
+    fn registry_snapshot_matches_serial_totals(
+        ops in prop::collection::vec((0_usize..SHARDS, 1_u64..1 << 20), 1..100),
+    ) {
+        let registry = Registry::new();
+        let counter = registry.counter("prop.count");
+        let histogram = registry.histogram("prop.hist");
+        let mut serial = 0_u64;
+        for &(shard, v) in &ops {
+            counter.add_to_shard(shard, v);
+            histogram.record_to_shard(shard, v);
+            serial += v;
+        }
+        let snapshot = registry.snapshot();
+        prop_assert_eq!(snapshot.counter("prop.count"), Some(serial));
+        let state = snapshot.histogram("prop.hist").unwrap();
+        prop_assert_eq!(state.count, ops.len() as u64);
+        prop_assert_eq!(state.sum, serial);
+    }
+}
+
+/// Concurrent recording from real threads (each pinned to its own
+/// shard the round-robin way) merges to the serial oracle exactly.
+#[test]
+fn threaded_recording_equals_the_serial_oracle() {
+    let counter = Counter::new();
+    let histogram = Histogram::new();
+    let per_thread: Vec<Vec<u64>> = (0..8)
+        .map(|t| (0..500).map(|k| (t * 1_000_003 + k * 97) as u64).collect())
+        .collect();
+
+    let shared = Arc::new((counter.clone(), histogram.clone()));
+    let handles: Vec<_> = per_thread
+        .iter()
+        .cloned()
+        .map(|values| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for v in values {
+                    shared.0.add(v);
+                    shared.1.record(v);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let all: Vec<u64> = per_thread.into_iter().flatten().collect();
+    let oracle = serial_histogram(&all);
+    assert_eq!(counter.value(), all.iter().sum::<u64>());
+    assert_eq!(histogram.state(), oracle);
+}
+
+/// Saturation, not wraparound: sums pinned at `u64::MAX` stay there,
+/// extreme values land in the last bucket, and the mean degrades to a
+/// lower bound instead of going garbage.
+#[test]
+fn histogram_sum_saturates_at_u64_max() {
+    let h = Histogram::new();
+    h.record_to_shard(0, u64::MAX);
+    h.record_to_shard(1, u64::MAX);
+    h.record_to_shard(2, 7);
+    let state = h.state();
+    assert_eq!(state.count, 3);
+    assert_eq!(state.sum, u64::MAX, "sum saturates instead of wrapping");
+    assert_eq!(state.min, 7);
+    assert_eq!(state.max, u64::MAX);
+    assert_eq!(state.buckets[BUCKETS - 1], 2);
+    assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    assert_eq!(bucket_upper_edge(BUCKETS - 1), u64::MAX);
+    let mean = state.mean().unwrap();
+    assert!(mean <= u64::MAX as f64, "saturated mean is a lower bound");
+
+    // Saturation inside a single shard's running sum, too.
+    let single = Histogram::new();
+    single.record_to_shard(0, u64::MAX - 1);
+    single.record_to_shard(0, u64::MAX - 1);
+    assert_eq!(single.state().sum, u64::MAX);
+}

@@ -280,6 +280,54 @@ impl Network {
         self.forward_batch(inputs, pool::default_threads())
     }
 
+    /// [`Network::forward_batch`] that additionally records engine
+    /// metrics into `registry` under `prefix`:
+    ///
+    /// * `{prefix}.queue_depth` (gauge) — this batch's sample count;
+    ///   the high-water mark tracks the largest batch ever queued.
+    /// * `{prefix}.samples` (counter) — samples inferred, cumulative.
+    /// * `{prefix}.batches` (counter) — batch calls, cumulative.
+    /// * `{prefix}.batch_ns` (histogram) — wall time per batch call.
+    ///
+    /// Per-layer span timings land in each worker's thread-local span
+    /// ring as usual (see [`mindful_core::obs::drain_spans`]). Outputs
+    /// are identical to [`Network::forward_batch`]; without the crate's
+    /// `obs` feature this *is* `forward_batch`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::forward_batch`].
+    pub fn forward_batch_observed<S>(
+        &self,
+        inputs: &[S],
+        threads: NonZeroUsize,
+        registry: &mindful_core::obs::Registry,
+        prefix: &str,
+    ) -> Result<Vec<Vec<f32>>>
+    where
+        S: AsRef<[f32]> + Sync,
+    {
+        #[cfg(feature = "obs")]
+        {
+            let queue_depth = registry.gauge(&format!("{prefix}.queue_depth"));
+            let samples = registry.counter(&format!("{prefix}.samples"));
+            let batches = registry.counter(&format!("{prefix}.batches"));
+            let batch_ns = registry.histogram(&format!("{prefix}.batch_ns"));
+            queue_depth.set(inputs.len() as u64);
+            let start = std::time::Instant::now();
+            let outputs = self.forward_batch(inputs, threads)?;
+            batch_ns.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            samples.add(inputs.len() as u64);
+            batches.increment();
+            Ok(outputs)
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (registry, prefix);
+            self.forward_batch(inputs, threads)
+        }
+    }
+
     /// The original naive forward pass: per-layer allocating loops with
     /// per-MAC padding checks. Retained as the property-test oracle and
     /// benchmark baseline for the blocked engine.
@@ -352,6 +400,8 @@ impl Network {
         let mut width = input.len();
         for idx in 0..keep {
             let layer = &self.arch.layers()[idx];
+            #[cfg(feature = "obs")]
+            let _layer_span = mindful_core::obs::span(layer_span_name(layer));
             let out_width = layer.output_values() as usize;
             self.apply_layer_blocked(idx, layer, &cur[..width], &mut nxt[..out_width]);
             if idx + 1 < keep || relu_last {
@@ -422,6 +472,18 @@ impl Network {
                 out,
             ),
         }
+    }
+}
+
+/// Static span label for one layer kind (span names must be
+/// `&'static str` so recording stays allocation-free).
+#[cfg(feature = "obs")]
+fn layer_span_name(layer: &LayerSpec) -> &'static str {
+    match layer {
+        LayerSpec::Dense { .. } => "dnn.dense",
+        LayerSpec::Conv1d { .. } => "dnn.conv1d",
+        LayerSpec::DenseConv1d { .. } => "dnn.dense_conv1d",
+        LayerSpec::Pool1d { .. } => "dnn.pool1d",
     }
 }
 
@@ -674,6 +736,42 @@ mod tests {
         assert!(net.forward_naive(&vec![0.0; 127]).is_err());
         assert!(net.forward_prefix(&vec![0.0; 128], 0).is_err());
         assert!(net.forward_prefix(&vec![0.0; 128], 99).is_err());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn observed_batch_matches_plain_batch_and_records_metrics() {
+        use mindful_core::obs::{clear_spans, drain_spans, spans_enabled, Registry};
+
+        let arch = ModelFamily::Mlp.architecture(BASE_CHANNELS).unwrap();
+        let net = Network::with_seeded_weights(arch, 21);
+        let batch: Vec<Vec<f32>> = (0..5)
+            .map(|s| (0..128).map(|i| ((i + s) as f32).sin()).collect())
+            .collect();
+        let one = NonZeroUsize::new(1).unwrap();
+        let registry = Registry::new();
+        clear_spans();
+        let got = net
+            .forward_batch_observed(&batch, one, &registry, "infer")
+            .unwrap();
+        if spans_enabled() {
+            // Single-threaded, so the per-layer spans landed on this
+            // thread: one per MLP layer per sample.
+            let mut spans = Vec::new();
+            drain_spans(&mut spans);
+            let dense = spans.iter().filter(|r| r.name == "dnn.dense").count();
+            assert_eq!(
+                dense,
+                net.architecture().len() * batch.len(),
+                "one span per dense layer per sample"
+            );
+        }
+        assert_eq!(got, net.forward_batch(&batch, one).unwrap());
+        let s = registry.snapshot();
+        assert_eq!(s.counter("infer.samples"), Some(5));
+        assert_eq!(s.counter("infer.batches"), Some(1));
+        assert_eq!(s.gauge("infer.queue_depth"), Some((5, 5)));
+        assert_eq!(s.histogram("infer.batch_ns").unwrap().count, 1);
     }
 
     #[test]

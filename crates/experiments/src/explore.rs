@@ -11,8 +11,9 @@ use std::collections::{BTreeMap, HashSet};
 use std::path::Path;
 
 use mindful_core::explore::{best_by_channels, CandidatePoint};
+use mindful_core::obs::{Registry, Snapshot};
 use mindful_core::soc::wireless_socs;
-use mindful_core::sweep::{SweepGrid, SweepResult};
+use mindful_core::sweep::{sweep_threads, ProjectionCache, SweepGrid, SweepResult};
 use mindful_plot::{Csv, LineChart, Series};
 
 use crate::error::Result;
@@ -35,6 +36,8 @@ pub struct Explore {
     pub result: SweepResult,
     /// The Pareto frontier of the budget-respecting cells.
     pub frontier: Vec<CandidatePoint>,
+    /// Scrape of the sweep engine's metrics for this run (`sweep.*`).
+    pub snapshot: Snapshot,
 }
 
 /// The grid declaration behind the experiment.
@@ -57,9 +60,15 @@ pub fn grid() -> Result<SweepGrid> {
 /// Propagates sweep evaluation errors (cannot occur for the built-in
 /// grid).
 pub fn generate() -> Result<Explore> {
-    let result = grid()?.evaluate()?;
+    let registry = Registry::new();
+    let result =
+        grid()?.evaluate_observed(&ProjectionCache::new(), sweep_threads(), &registry, "sweep")?;
     let frontier = result.feasible_frontier()?;
-    Ok(Explore { result, frontier })
+    Ok(Explore {
+        result,
+        frontier,
+        snapshot: registry.snapshot(),
+    })
 }
 
 /// Writes the full sweep CSV, the frontier CSV, and the frontier SVG.
@@ -127,6 +136,17 @@ pub fn render(fig: &Explore, dir: &Path) -> Result<Artifacts> {
         fig.result.cache_hits(),
         fig.result.cache_hits() + fig.result.cache_misses(),
     ));
+    artifacts.write_file(dir, "explore_obs.jsonl", &fig.snapshot.to_jsonl())?;
+    if let Some(eval) = fig.snapshot.histogram("sweep.eval_ns") {
+        artifacts.report(format!(
+            "Explore: engine observed {} points in {:.0} ms ({} points/s)",
+            fig.snapshot.counter("sweep.points").unwrap_or(0),
+            eval.sum as f64 / 1e6,
+            fig.snapshot
+                .gauge("sweep.points_per_sec")
+                .map_or(0, |(v, _)| v),
+        ));
+    }
     if let Some(best) = best_by_channels(&fig.frontier) {
         artifacts.report(format!(
             "Explore: most channels on the feasible frontier: {} ({} ch, {:.2} mW, {:.0} mm2)",
@@ -172,14 +192,24 @@ mod tests {
     }
 
     #[test]
-    fn render_writes_three_files() {
+    fn render_writes_four_files() {
         let dir = std::env::temp_dir().join("mindful-explore-test");
-        let artifacts = render(&generate().unwrap(), &dir).unwrap();
-        assert_eq!(artifacts.files().len(), 3);
+        let fig = generate().unwrap();
+        let artifacts = render(&fig, &dir).unwrap();
+        assert_eq!(artifacts.files().len(), 4);
         assert!(artifacts.report_text().contains("on the frontier"));
         assert!(artifacts.report_text().contains("projection cache reused"));
+        assert!(artifacts.report_text().contains("engine observed"));
         let csv = std::fs::read_to_string(dir.join("explore.csv")).unwrap();
         assert!(csv.lines().count() > 1);
+        // The exported engine scrape parses back to the carried snapshot.
+        let jsonl = std::fs::read_to_string(dir.join("explore_obs.jsonl")).unwrap();
+        let parsed = mindful_core::obs::Snapshot::from_jsonl(&jsonl).unwrap();
+        assert_eq!(parsed, fig.snapshot);
+        assert_eq!(
+            parsed.counter("sweep.points"),
+            Some(fig.result.len() as u64)
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

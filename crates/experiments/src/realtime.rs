@@ -23,11 +23,13 @@
 //! counts) that the PR 4 graceful-degradation work threads through
 //! the per-stage telemetry.
 
+use std::num::NonZeroUsize;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
 use mindful_accel::alloc::best_allocation;
+use mindful_core::obs::{clear_spans, drain_spans, Registry, Snapshot};
 use mindful_core::pool::default_threads;
 use mindful_core::regimes::standard_split_designs;
 use mindful_core::throughput::sensing_throughput;
@@ -94,6 +96,10 @@ pub struct MeasuredThroughput {
     /// Whether the batched outputs matched per-sample `forward` calls
     /// exactly (they must — same kernels, same workspaces).
     pub consistent: bool,
+    /// Per-layer spans recorded by a single-threaded observed batch:
+    /// `layers × batch` when span tracing is active, 0 when compiled
+    /// out or switched off via `MINDFUL_OBS`.
+    pub layer_spans: u64,
 }
 
 impl MeasuredThroughput {
@@ -147,6 +153,10 @@ pub struct MeasuredStreaming {
     /// Fault telemetry merged over every stage of every stream (all
     /// zero in clean mode).
     pub faults: FaultTelemetry,
+    /// Registry scrape of this run's per-stream, per-stage metrics
+    /// (`s{stream}.{index}.{stage}.*`, covering warm-up and the timed
+    /// drive).
+    pub snapshot: Snapshot,
 }
 
 impl MeasuredStreaming {
@@ -234,7 +244,18 @@ fn measure_throughput() -> Result<Vec<MeasuredThroughput>> {
         let start = Instant::now();
         let timed = net.forward_batch(&frames, threads)?;
         let elapsed = start.elapsed();
+        // One more batch, single-threaded and observed, so the per-layer
+        // spans land on this thread's ring and can be counted — and the
+        // observed path provably computes the same outputs.
+        let registry = Registry::new();
+        clear_spans();
+        let observed =
+            net.forward_batch_observed(&frames, NonZeroUsize::MIN, &registry, "infer")?;
+        let mut spans = Vec::new();
+        let overwritten = drain_spans(&mut spans);
+        let layer_spans = spans.len() as u64 + overwritten;
         let consistent = timed == outputs
+            && observed == outputs
             && frames
                 .iter()
                 .zip(&timed)
@@ -245,6 +266,7 @@ fn measure_throughput() -> Result<Vec<MeasuredThroughput>> {
             threads: threads.get(),
             per_sample: TimeSpan::from_seconds(elapsed.as_secs_f64() / BATCH as f64),
             consistent,
+            layer_spans,
         });
     }
     Ok(measured)
@@ -285,6 +307,7 @@ fn measure_streaming() -> Result<Vec<MeasuredStreaming>> {
             let net = Arc::new(Network::with_seeded_weights(arch, 7));
             let width = net.architecture().input_values() as usize;
             let frames = synthetic_frames(width, 8);
+            let registry = Registry::new();
             let mut set = StreamSet::build(STREAMS, |stream| {
                 let pipeline = Pipeline::new().with_stage(ReplaySource::new(frames.clone())?);
                 let pipeline = if mode == StreamingMode::Faulted {
@@ -298,7 +321,9 @@ fn measure_streaming() -> Result<Vec<MeasuredStreaming>> {
                 } else {
                     pipeline
                 };
-                Ok(pipeline.with_stage(DnnStage::shared(Arc::clone(&net), 10)?))
+                Ok(pipeline
+                    .with_stage(DnnStage::shared(Arc::clone(&net), 10)?)
+                    .with_instrumentation(&registry, &format!("s{stream}")))
             })?;
             // Warm the set once (buffers sized, workspaces grown), then
             // time one steady-state drive — the serving shape the
@@ -328,6 +353,7 @@ fn measure_streaming() -> Result<Vec<MeasuredStreaming>> {
                 dnn_latency: TimeSpan::from_seconds(dnn.mean_latency().as_secs_f64()),
                 peak_buffer_bytes: first.telemetry.iter().map(|t| t.peak_buffer_bytes).sum(),
                 faults,
+                snapshot: registry.snapshot(),
             });
         }
     }
@@ -389,6 +415,7 @@ pub fn render(study: &Realtime, dir: &Path) -> Result<Artifacts> {
         "us_per_sample",
         "ksamples_per_sec",
         "consistent",
+        "layer_spans",
     ]);
     artifacts.report(format!(
         "\nmeasured batched inference ({} frames at {BASE_CHANNELS} channels, shared pool):",
@@ -402,6 +429,7 @@ pub fn render(study: &Realtime, dir: &Path) -> Result<Artifacts> {
             format!("{:.1}", m.per_sample.microseconds()),
             format!("{:.2}", m.samples_per_second() / 1e3),
             m.consistent.to_string(),
+            m.layer_spans.to_string(),
         ]);
         artifacts.report(format!(
             "  {}: {:.1} us/sample on {} thread(s) ({:.1}x the {:.1} kHz application rate)",
@@ -464,6 +492,42 @@ pub fn render(study: &Realtime, dir: &Path) -> Result<Artifacts> {
         ));
     }
     artifacts.write_file(dir, "realtime_streaming.csv", streaming_csv.as_str())?;
+
+    // The deterministic slice of each streaming run's registry scrape:
+    // frame/byte counters and seeded fault gauges, one row per metric.
+    // Wall-clock histograms and buffer-capacity gauges are machine-
+    // dependent and deliberately excluded, so this file is golden-
+    // pinnable.
+    let mut observed_csv = Csv::new(&["model", "mode", "metric", "value"]);
+    for m in &study.streaming {
+        for c in &m.snapshot.counters {
+            observed_csv.push(&[
+                m.family.to_string(),
+                m.mode.to_string(),
+                c.name.clone(),
+                c.value.to_string(),
+            ]);
+        }
+        for g in m
+            .snapshot
+            .gauges
+            .iter()
+            .filter(|g| g.name.contains(".faults."))
+        {
+            observed_csv.push(&[
+                m.family.to_string(),
+                m.mode.to_string(),
+                g.name.clone(),
+                g.value.to_string(),
+            ]);
+        }
+    }
+    artifacts.write_file(dir, "realtime_observed.csv", observed_csv.as_str())?;
+    artifacts.report(format!(
+        "\nobservability: {} registry metrics per streaming run; deterministic slice in \
+         realtime_observed.csv, per-layer spans in realtime_measured.csv",
+        study.streaming.first().map_or(0, |m| m.snapshot.len()),
+    ));
     Ok(artifacts)
 }
 
@@ -514,7 +578,7 @@ mod tests {
     fn render_writes_the_table() {
         let dir = std::env::temp_dir().join("mindful-realtime-test");
         let artifacts = render(study(), &dir).unwrap();
-        assert_eq!(artifacts.files().len(), 3);
+        assert_eq!(artifacts.files().len(), 4);
         assert!(artifacts.report_text().contains("reaction time"));
         assert!(artifacts
             .report_text()
@@ -522,6 +586,13 @@ mod tests {
         assert!(artifacts
             .report_text()
             .contains("measured streaming pipeline"));
+        assert!(artifacts.report_text().contains("observability"));
+        let observed = std::fs::read_to_string(dir.join("realtime_observed.csv")).unwrap();
+        assert!(observed.starts_with("model,mode,metric,value\n"));
+        assert!(
+            !observed.contains("latency_ns") && !observed.contains("buffer_bytes"),
+            "only the deterministic metric slice is exported"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -564,6 +635,70 @@ mod tests {
                 m.family
             );
             assert!(m.frames_per_second() > 0.0);
+        }
+    }
+
+    #[test]
+    fn registry_scrape_agrees_with_pipeline_telemetry() {
+        let study = study();
+        for m in &study.streaming {
+            // Every stream drove the source for 2×STEPS steps (warm-up
+            // plus the timed drive), and the registry counted each one.
+            let steps = 2 * m.steps as u64;
+            for stream in 0..m.streams {
+                assert_eq!(
+                    m.snapshot.counter(&format!("s{stream}.0.replay.frames_in")),
+                    Some(steps),
+                    "{} {} stream {stream}",
+                    m.family,
+                    m.mode
+                );
+            }
+            // The fault gauges, summed over streams and stages, mirror
+            // the merged FaultTelemetry field-exactly.
+            let gauge_sum = |field: &str| -> u64 {
+                m.snapshot
+                    .gauges
+                    .iter()
+                    .filter(|g| g.name.ends_with(&format!(".faults.{field}")))
+                    .map(|g| g.value)
+                    .sum()
+            };
+            assert_eq!(gauge_sum("injected"), m.faults.injected, "{}", m.family);
+            assert_eq!(gauge_sum("degraded"), m.faults.degraded, "{}", m.family);
+            assert_eq!(
+                gauge_sum("quarantined"),
+                m.faults.quarantined,
+                "{}",
+                m.family
+            );
+            if m.mode == StreamingMode::Clean {
+                assert!(
+                    m.snapshot
+                        .gauges
+                        .iter()
+                        .all(|g| !g.name.contains(".faults.")),
+                    "clean chains register no fault gauges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layer_spans_count_layers_times_batch_when_tracing_is_active() {
+        let study = study();
+        for m in &study.measured {
+            if mindful_core::obs::spans_enabled() {
+                let layers = m.family.architecture(BASE_CHANNELS).unwrap().len() as u64;
+                assert_eq!(
+                    m.layer_spans,
+                    layers * m.batch as u64,
+                    "{}: one span per layer per sample",
+                    m.family
+                );
+            } else {
+                assert_eq!(m.layer_spans, 0, "{}", m.family);
+            }
         }
     }
 

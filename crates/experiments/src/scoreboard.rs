@@ -247,6 +247,22 @@ pub fn generate() -> Result<Scoreboard> {
         holds: !feasible.is_empty() && worst_rise > 0.0 && worst_rise <= 2.2,
     });
 
+    // Observability cross-check: the metrics registry scraped from the
+    // sweep engine must agree exactly with the result it returned.
+    let observed_points = sweep.snapshot.counter("sweep.points").unwrap_or(0);
+    let (cache_hits, _) = sweep.snapshot.gauge("sweep.cache_hits").unwrap_or((0, 0));
+    rows.push(ScoreRow {
+        source: "Obs",
+        claim: "sweep engine metrics mirror its returned result",
+        paper: "exact".into(),
+        measured: format!(
+            "{observed_points}/{} points, {cache_hits} cache hits",
+            sweep.result.len()
+        ),
+        holds: observed_points == sweep.result.len() as u64
+            && cache_hits == sweep.result.cache_hits(),
+    });
+
     Ok(Scoreboard { rows })
 }
 

@@ -34,6 +34,7 @@
 mod error;
 mod fault;
 mod frame;
+pub mod obs;
 mod stage;
 mod stages;
 mod stream;

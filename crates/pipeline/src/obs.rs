@@ -1,0 +1,184 @@
+//! Registry instrumentation for pipeline stages.
+//!
+//! [`crate::Pipeline::instrument`] registers one metric family per
+//! stage in a [`mindful_core::obs::Registry`] and stores the returned
+//! handles in the stage's slot; the driver then records into them on
+//! every step. Registration is the only allocating part — recording is
+//! relaxed atomics, so the pipeline's zero-allocation guarantee holds
+//! for instrumented runs (proven by the crate's counting-allocator
+//! test).
+//!
+//! Metric names follow `{prefix}.{index}.{stage}.{metric}`:
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `frames_in` | counter | frames handed to the stage |
+//! | `frames_out` | counter | frames the stage emitted |
+//! | `bytes_out` | counter | wire bytes emitted (byte sinks only) |
+//! | `buffer_bytes` | gauge | output-buffer backing storage (high water = peak) |
+//! | `latency_ns` | histogram | per-frame wall time inside the stage |
+//! | `faults.<field>` | gauge | fault-counter snapshot (fault-aware stages only) |
+//!
+//! Fault counters are *absolute* snapshots maintained by the stages
+//! themselves ([`crate::Stage::fault_telemetry`]), so they surface as
+//! gauges mirroring the latest snapshot rather than re-counted deltas —
+//! a scrape is field-exact against [`crate::FaultTelemetry`].
+//!
+//! Without the crate's `obs` feature this module compiles to a no-op:
+//! `instrument` registers nothing and the driver records nothing.
+
+#![cfg_attr(
+    not(feature = "obs"),
+    allow(unused_variables, unused_imports, dead_code, clippy::unused_self)
+)]
+
+use std::time::Duration;
+
+#[cfg(not(feature = "obs"))]
+use mindful_core::obs::Registry;
+#[cfg(feature = "obs")]
+use mindful_core::obs::{Counter, Gauge, Histogram, Registry};
+
+use crate::fault::FaultTelemetry;
+use crate::frame::{Frame, FrameBuf, StageOutput};
+
+/// Per-field gauges mirroring a stage's [`FaultTelemetry`] snapshot.
+#[cfg(feature = "obs")]
+#[derive(Debug, Clone)]
+struct FaultGauges {
+    injected: Gauge,
+    detected: Gauge,
+    recovered: Gauge,
+    lost: Gauge,
+    degraded: Gauge,
+    quarantined: Gauge,
+    naks: Gauge,
+    max_gap: Gauge,
+    recovery_steps: Gauge,
+}
+
+#[cfg(feature = "obs")]
+impl FaultGauges {
+    fn register(registry: &Registry, base: &str) -> Self {
+        Self {
+            injected: registry.gauge(&format!("{base}.injected")),
+            detected: registry.gauge(&format!("{base}.detected")),
+            recovered: registry.gauge(&format!("{base}.recovered")),
+            lost: registry.gauge(&format!("{base}.lost")),
+            degraded: registry.gauge(&format!("{base}.degraded")),
+            quarantined: registry.gauge(&format!("{base}.quarantined")),
+            naks: registry.gauge(&format!("{base}.naks")),
+            max_gap: registry.gauge(&format!("{base}.max_gap")),
+            recovery_steps: registry.gauge(&format!("{base}.recovery_steps")),
+        }
+    }
+
+    fn set(&self, t: &FaultTelemetry) {
+        self.injected.set(t.injected);
+        self.detected.set(t.detected);
+        self.recovered.set(t.recovered);
+        self.lost.set(t.lost);
+        self.degraded.set(t.degraded);
+        self.quarantined.set(t.quarantined);
+        self.naks.set(t.naks);
+        self.max_gap.set(t.max_gap);
+        self.recovery_steps.set(t.recovery_steps);
+    }
+}
+
+/// Registry handles for one instrumented stage slot.
+///
+/// Registered once by [`crate::Pipeline::instrument`]; every recording
+/// method is lock-free and allocation-free.
+#[derive(Debug, Clone)]
+pub(crate) struct SlotObs {
+    #[cfg(feature = "obs")]
+    frames_in: Counter,
+    #[cfg(feature = "obs")]
+    frames_out: Counter,
+    #[cfg(feature = "obs")]
+    bytes_out: Counter,
+    #[cfg(feature = "obs")]
+    buffer_bytes: Gauge,
+    #[cfg(feature = "obs")]
+    latency_ns: Histogram,
+    #[cfg(feature = "obs")]
+    faults: Option<FaultGauges>,
+}
+
+impl SlotObs {
+    /// Registers the stage's metric family under
+    /// `{prefix}.{index}.{name}`. `fault_aware` stages additionally get
+    /// the `faults.*` gauge set.
+    pub(crate) fn register(
+        registry: &Registry,
+        prefix: &str,
+        index: usize,
+        name: &str,
+        fault_aware: bool,
+    ) -> Self {
+        #[cfg(feature = "obs")]
+        {
+            let base = format!("{prefix}.{index}.{name}");
+            Self {
+                frames_in: registry.counter(&format!("{base}.frames_in")),
+                frames_out: registry.counter(&format!("{base}.frames_out")),
+                bytes_out: registry.counter(&format!("{base}.bytes_out")),
+                buffer_bytes: registry.gauge(&format!("{base}.buffer_bytes")),
+                latency_ns: registry.histogram(&format!("{base}.latency_ns")),
+                faults: fault_aware
+                    .then(|| FaultGauges::register(registry, &format!("{base}.faults"))),
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            Self {}
+        }
+    }
+
+    /// Accounts one [`crate::Stage::process`] call.
+    #[inline]
+    pub(crate) fn record(&self, elapsed: Duration, outcome: StageOutput, out: &FrameBuf) {
+        #[cfg(feature = "obs")]
+        {
+            self.frames_in.increment();
+            self.latency_ns
+                .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+            if outcome == StageOutput::Emitted {
+                self.record_emission(out);
+            }
+        }
+    }
+
+    /// Accounts a frame produced by [`crate::Stage::finish`] — an
+    /// emission without a corresponding input frame.
+    #[inline]
+    pub(crate) fn record_flush(&self, elapsed: Duration, out: &FrameBuf) {
+        #[cfg(feature = "obs")]
+        {
+            self.latency_ns
+                .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+            self.record_emission(out);
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn record_emission(&self, out: &FrameBuf) {
+        self.frames_out.increment();
+        if let Frame::Bytes(wire) = out.as_frame() {
+            self.bytes_out.add(wire.len() as u64);
+        }
+        self.buffer_bytes.set(out.capacity_bytes() as u64);
+    }
+
+    /// Mirrors the stage's latest fault snapshot into the `faults.*`
+    /// gauges (no-op for fault-unaware stages).
+    #[inline]
+    pub(crate) fn record_faults(&self, snapshot: Option<&FaultTelemetry>) {
+        #[cfg(feature = "obs")]
+        if let (Some(gauges), Some(t)) = (&self.faults, snapshot) {
+            gauges.set(t);
+        }
+    }
+}

@@ -2,9 +2,12 @@
 
 use std::time::{Duration, Instant};
 
+use mindful_core::obs::Registry;
+
 use crate::error::{PipelineError, Result};
 use crate::fault::FaultTelemetry;
 use crate::frame::{Frame, FrameBuf, StageOutput};
+use crate::obs::SlotObs;
 
 /// One step of the implant dataflow.
 ///
@@ -126,6 +129,8 @@ struct Slot {
     stage: Box<dyn Stage>,
     out: FrameBuf,
     telemetry: StageTelemetry,
+    /// Registry handles, present once [`Pipeline::instrument`] ran.
+    obs: Option<SlotObs>,
 }
 
 /// A composed chain of stages with per-stage output buffers.
@@ -161,7 +166,38 @@ impl Pipeline {
             stage: Box::new(stage),
             out: FrameBuf::new(),
             telemetry,
+            obs: None,
         });
+    }
+
+    /// Registers per-stage metrics in `registry` under
+    /// `{prefix}.{index}.{stage}` and records into them from every
+    /// subsequent step (see [`crate::obs`] for the metric table).
+    ///
+    /// Registration allocates (names, registry entries); the recording
+    /// it enables does not, so the warm pipeline stays allocation-free
+    /// with instrumentation on. Calling it again re-registers against
+    /// the (possibly different) registry; existing counts in the old
+    /// registry are left behind. Without the crate's `obs` feature this
+    /// is a no-op.
+    pub fn instrument(&mut self, registry: &Registry, prefix: &str) {
+        for (index, slot) in self.slots.iter_mut().enumerate() {
+            let fault_aware = slot.stage.fault_telemetry().is_some();
+            slot.obs = Some(SlotObs::register(
+                registry,
+                prefix,
+                index,
+                slot.telemetry.name,
+                fault_aware,
+            ));
+        }
+    }
+
+    /// Builder-style [`Pipeline::instrument`].
+    #[must_use]
+    pub fn with_instrumentation(mut self, registry: &Registry, prefix: &str) -> Self {
+        self.instrument(registry, prefix);
+        self
     }
 
     /// Number of stages.
@@ -216,8 +252,13 @@ impl Pipeline {
             };
             let start = Instant::now();
             let outcome = slot.stage.process(&frame, &mut slot.out)?;
-            slot.telemetry.record(start.elapsed(), outcome, &slot.out);
+            let elapsed = start.elapsed();
+            slot.telemetry.record(elapsed, outcome, &slot.out);
             slot.telemetry.faults = slot.stage.fault_telemetry();
+            if let Some(obs) = &slot.obs {
+                obs.record(elapsed, outcome, &slot.out);
+                obs.record_faults(slot.telemetry.faults.as_ref());
+            }
             if outcome == StageOutput::Pending {
                 return Ok(None);
             }
@@ -238,8 +279,13 @@ impl Pipeline {
                 .as_frame();
             let t = Instant::now();
             let outcome = slot.stage.process(&frame, &mut slot.out)?;
-            slot.telemetry.record(t.elapsed(), outcome, &slot.out);
+            let elapsed = t.elapsed();
+            slot.telemetry.record(elapsed, outcome, &slot.out);
             slot.telemetry.faults = slot.stage.fault_telemetry();
+            if let Some(obs) = &slot.obs {
+                obs.record(elapsed, outcome, &slot.out);
+                obs.record_faults(slot.telemetry.faults.as_ref());
+            }
             if outcome == StageOutput::Pending {
                 return Ok(false);
             }
@@ -271,10 +317,16 @@ impl Pipeline {
                 let outcome = slot.stage.finish(&mut slot.out)?;
                 let elapsed = t.elapsed();
                 slot.telemetry.faults = slot.stage.fault_telemetry();
+                if let Some(obs) = &slot.obs {
+                    obs.record_faults(slot.telemetry.faults.as_ref());
+                }
                 if outcome == StageOutput::Pending {
                     break;
                 }
                 slot.telemetry.record_flush(elapsed, &slot.out);
+                if let Some(obs) = &slot.obs {
+                    obs.record_flush(elapsed, &slot.out);
+                }
                 if self.cascade(i + 1)? {
                     completed += 1;
                 }
@@ -493,5 +545,80 @@ mod tests {
         let mut p = Pipeline::new().with_stage(Doubler);
         p.push(Frame::Codes(&[1])).unwrap();
         assert_eq!(p.telemetry()[0].faults, None);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn instrumented_run_mirrors_stage_telemetry_in_the_registry() {
+        let registry = Registry::new();
+        let mut p = Pipeline::new()
+            .with_stage(CounterSource(0))
+            .with_stage(EveryNth { window: 3, seen: 0 })
+            .with_stage(Doubler)
+            .with_instrumentation(&registry, "test");
+        for _ in 0..9 {
+            p.step().unwrap();
+        }
+        let t = p.telemetry();
+        let s = registry.snapshot();
+        for (i, stage) in t.iter().enumerate() {
+            let base = format!("test.{i}.{}", stage.name);
+            assert_eq!(
+                s.counter(&format!("{base}.frames_in")),
+                Some(stage.frames_in),
+                "{base}"
+            );
+            assert_eq!(
+                s.counter(&format!("{base}.frames_out")),
+                Some(stage.frames_out),
+                "{base}"
+            );
+            assert_eq!(
+                s.counter(&format!("{base}.bytes_out")),
+                Some(stage.bytes_out)
+            );
+            let (_, high_water) = s.gauge(&format!("{base}.buffer_bytes")).unwrap();
+            assert_eq!(high_water, stage.peak_buffer_bytes as u64);
+            let lat = s.histogram(&format!("{base}.latency_ns")).unwrap();
+            assert_eq!(lat.count, stage.frames_in, "one latency sample per input");
+        }
+        assert!(
+            s.counter("test.1.every-nth.faults.injected").is_none(),
+            "fault-unaware stages register no fault gauges"
+        );
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn instrumented_flush_counts_emissions() {
+        let registry = Registry::new();
+        let mut p = Pipeline::new()
+            .with_stage(Absorber { held: Vec::new() })
+            .with_stage(Doubler)
+            .with_instrumentation(&registry, "flush");
+        for k in 1..=3_u16 {
+            assert!(p.push(Frame::Codes(&[k])).unwrap().is_none());
+        }
+        p.finish().unwrap();
+        let s = registry.snapshot();
+        assert_eq!(s.counter("flush.0.absorber.frames_out"), Some(3));
+        assert_eq!(s.counter("flush.1.doubler.frames_in"), Some(3));
+        assert_eq!(s.counter("flush.1.doubler.frames_out"), Some(3));
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn instrument_is_a_noop_without_the_obs_feature() {
+        let registry = Registry::new();
+        let mut p = Pipeline::new()
+            .with_stage(CounterSource(0))
+            .with_instrumentation(&registry, "noop");
+        p.step().unwrap();
+        p.instrument(&registry, "noop2");
+        p.step().unwrap();
+        assert!(
+            registry.is_empty(),
+            "no metrics registered when compiled out"
+        );
     }
 }

@@ -34,9 +34,10 @@ const RTT: u64 = 2;
 fn soak_steps() -> usize {
     // CI short mode: enough steps to exercise every fault kind and a
     // few NAK/backoff cycles, without the full ten-thousand-step run.
-    match std::env::var("MINDFUL_SOAK_QUICK") {
-        Ok(v) if v != "0" && !v.is_empty() => 1_500,
-        _ => 10_000,
+    if mindful_core::env::flag("MINDFUL_SOAK_QUICK", false) {
+        1_500
+    } else {
+        10_000
     }
 }
 
@@ -81,6 +82,7 @@ fn soak_1024_channels_at_two_percent_composite_faults() {
     let (detector, kalman) = calibrate(&mut ni);
     let mut twin_ni = ni.clone();
     let plan = FaultPlan::new(FaultConfig::wire_composite(RATE), SEED).unwrap();
+    let registry = mindful_core::obs::Registry::new();
     let mut pipeline = Pipeline::new()
         .with_stage(SenseStage::from_interface(ni, IntentSchedule::FigureEight))
         .with_stage(PacketizeStage::new(SAMPLE_BITS).unwrap())
@@ -90,7 +92,8 @@ fn soak_1024_channels_at_two_percent_composite_faults() {
         .with_stage(ConcealStage::new(CHANNELS, DegradePolicy::HoldLast).unwrap())
         .with_stage(SpikeStage::new(detector))
         .with_stage(BinStage::new(CHANNELS, BIN_WINDOW).unwrap())
-        .with_stage(KalmanStage::new(kalman));
+        .with_stage(KalmanStage::new(kalman))
+        .with_instrumentation(&registry, "soak");
 
     let mut decoded = 0_u64;
     for step in 0..steps {
@@ -174,6 +177,45 @@ fn soak_1024_channels_at_two_percent_composite_faults() {
         stats.recovered
     );
     assert!(link.naks > 0, "recoveries were driven by NAKs");
+
+    // The observability pin: a registry scrape of the instrumented
+    // pipeline reports the identical fault ledger, field-exact against
+    // the twin link — metrics are a faithful second witness, not a
+    // parallel bookkeeping scheme that can drift.
+    #[cfg(feature = "obs")]
+    {
+        let snapshot = registry.snapshot();
+        let gauge = |name: &str| {
+            snapshot
+                .gauge(name)
+                .unwrap_or_else(|| panic!("gauge {name} registered"))
+                .0
+        };
+        assert_eq!(gauge("soak.2.link.faults.injected"), injected.total());
+        assert_eq!(gauge("soak.2.link.faults.recovered"), stats.recovered);
+        assert_eq!(gauge("soak.2.link.faults.lost"), stats.lost);
+        assert_eq!(gauge("soak.2.link.faults.naks"), stats.naks_sent);
+        assert_eq!(gauge("soak.2.link.faults.max_gap"), stats.max_gap);
+        assert_eq!(
+            gauge("soak.2.link.faults.recovery_steps"),
+            stats.recovery_steps
+        );
+        assert_eq!(
+            gauge("soak.2.link.faults.detected"),
+            stats.corrupted + stats.gaps_detected + stats.duplicates + stats.out_of_window
+        );
+        assert_eq!(gauge("soak.3.conceal.faults.degraded"), stats.lost);
+        assert_eq!(gauge("soak.3.conceal.faults.quarantined"), 0);
+        assert_eq!(
+            snapshot.counter("soak.2.link.frames_out"),
+            Some(steps as u64),
+            "the link counter mirrors the playout ledger"
+        );
+        assert_eq!(
+            snapshot.counter("soak.0.sense.frames_in"),
+            Some(steps as u64)
+        );
+    }
 }
 
 /// ARQ-off degraded mode: no NAKs, every loss concealed, chain bounded.

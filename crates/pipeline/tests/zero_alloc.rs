@@ -137,6 +137,89 @@ fn warm_five_stage_chain_is_allocation_free() {
     assert!(t[4].bytes_out > 0);
 }
 
+/// The observability contract of this PR: the same five-stage chain
+/// with full registry instrumentation — per-stage frame counters,
+/// latency histograms, buffer gauges — still streams with **zero**
+/// allocations per warm step. Registration allocates up front;
+/// recording must not.
+#[test]
+fn warm_instrumented_five_stage_chain_is_allocation_free() {
+    let _guard = MEASURE.lock().unwrap();
+    let registry = mindful_core::obs::Registry::new();
+    let mut ni = NeuralInterface::new(32, 600, 10, 5).unwrap();
+    assert_eq!(ni.channels(), 1024);
+    let (detector, kalman) = calibrate(&mut ni);
+    let channels = ni.channels();
+
+    let mut pipeline = Pipeline::new()
+        .with_stage(SenseStage::from_interface(ni, IntentSchedule::FigureEight))
+        .with_stage(SpikeStage::new(detector))
+        .with_stage(BinStage::new(channels, WINDOW).unwrap())
+        .with_stage(KalmanStage::new(kalman))
+        .with_stage(PacketizeStage::new(10).unwrap())
+        .with_instrumentation(&registry, "pipe");
+
+    // Warm-up also initializes the observability thread-locals (shard
+    // selection, span clock) so the measured region starts truly warm.
+    for _ in 0..2 * WINDOW {
+        pipeline.step().unwrap();
+    }
+
+    let mut emitted = 0;
+    let allocs = allocations_during(|| {
+        for _ in 0..32 {
+            if pipeline.step().unwrap().is_some() {
+                emitted += 1;
+            }
+        }
+    });
+    assert_eq!(emitted, 32 / WINDOW);
+    assert_eq!(
+        allocs, 0,
+        "a warm instrumented chain must not allocate: metric recording is atomics only"
+    );
+
+    // Scraping allocates by design — outside the measured region — and
+    // the scrape must agree with the driver's own telemetry exactly.
+    // Without the `obs` feature instrumentation is a no-op and the
+    // registry stays empty; the allocation-free property above is the
+    // part that holds in every configuration.
+    #[cfg(feature = "obs")]
+    let snapshot = registry.snapshot();
+    #[cfg(feature = "obs")]
+    for (i, t) in pipeline.telemetry().iter().enumerate() {
+        let base = format!("pipe.{i}.{}", t.name);
+        assert_eq!(
+            snapshot.counter(&format!("{base}.frames_in")),
+            Some(t.frames_in),
+            "{base}"
+        );
+        assert_eq!(
+            snapshot.counter(&format!("{base}.frames_out")),
+            Some(t.frames_out),
+            "{base}"
+        );
+        assert_eq!(
+            snapshot.counter(&format!("{base}.bytes_out")),
+            Some(t.bytes_out),
+            "{base}"
+        );
+        assert_eq!(
+            snapshot.gauge(&format!("{base}.buffer_bytes")).unwrap().1,
+            t.peak_buffer_bytes as u64,
+            "{base}: gauge high water tracks the peak buffer"
+        );
+        assert_eq!(
+            snapshot
+                .histogram(&format!("{base}.latency_ns"))
+                .unwrap()
+                .count,
+            t.frames_in,
+            "{base}: one latency sample per input frame"
+        );
+    }
+}
+
 /// The computation-centric variant: sensing straight into the embedded
 /// DNN, allocation-free after one warm frame.
 #[test]
@@ -158,4 +241,49 @@ fn warm_dnn_chain_is_allocation_free() {
         }
     });
     assert_eq!(allocs, 0, "a warm sense→dnn chain must not allocate");
+}
+
+/// The instrumented computation-centric chain: per-stage metrics *and*
+/// the inference engine's per-layer span tracing (ring-buffer writes on
+/// this thread) — still allocation-free per warm step.
+#[test]
+fn warm_instrumented_dnn_chain_is_allocation_free() {
+    let _guard = MEASURE.lock().unwrap();
+    let registry = mindful_core::obs::Registry::new();
+    let ni = NeuralInterface::new(32, 600, 10, 5).unwrap();
+    let channels = ni.channels() as u64;
+    let network = Network::with_seeded_weights(ModelFamily::Mlp.architecture(channels).unwrap(), 7);
+    let mut pipeline = Pipeline::new()
+        .with_stage(SenseStage::from_interface(ni, IntentSchedule::FigureEight))
+        .with_stage(DnnStage::new(network, 10).unwrap())
+        .with_instrumentation(&registry, "dnnchain");
+
+    for _ in 0..2 {
+        pipeline.step().unwrap().expect("dnn emits every frame");
+    }
+    mindful_core::obs::clear_spans();
+    let allocs = allocations_during(|| {
+        for _ in 0..32 {
+            pipeline.step().unwrap().expect("dnn emits every frame");
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "a warm instrumented sense→dnn chain must not allocate, span tracing included"
+    );
+
+    #[cfg(feature = "obs")]
+    assert_eq!(
+        registry.snapshot().counter("dnnchain.1.dnn.frames_in"),
+        Some(2 + 32)
+    );
+    if mindful_core::obs::spans_enabled() {
+        let mut spans = Vec::new();
+        let overwritten = mindful_core::obs::drain_spans(&mut spans);
+        assert!(
+            spans.len() as u64 + overwritten > 0,
+            "per-layer spans were recorded during the measured steps"
+        );
+        assert!(spans.iter().all(|s| s.name.starts_with("dnn.")));
+    }
 }

@@ -17,7 +17,9 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use mindful_experiments::{explore, fig10, fig11, fig12, fig4, fig5, fig6, fig7, fig9, table1};
+use mindful_experiments::{
+    explore, fig10, fig11, fig12, fig4, fig5, fig6, fig7, fig9, realtime, table1,
+};
 
 /// Absolute tolerance for numeric fields.
 const ABS_TOL: f64 = 1e-9;
@@ -181,6 +183,22 @@ fn explore_sweep_matches_golden() {
         explore::render(&explore::generate().unwrap(), d).unwrap();
     });
     check_golden("explore.csv", &csv);
+}
+
+#[test]
+fn realtime_tables_match_golden() {
+    // One render, two pinned files: the analytic latency table and the
+    // deterministic slice of the streaming runs' registry scrapes
+    // (counters + seeded fault gauges; wall-clock metrics excluded by
+    // construction). The timing CSVs from the same render are machine-
+    // dependent and deliberately not pinned.
+    let dir = std::env::temp_dir().join("mindful-golden-realtime");
+    realtime::render(&realtime::generate().unwrap(), &dir).unwrap();
+    let analytic = fs::read_to_string(dir.join("realtime.csv")).unwrap();
+    let observed = fs::read_to_string(dir.join("realtime_observed.csv")).unwrap();
+    fs::remove_dir_all(&dir).ok();
+    check_golden("realtime.csv", &analytic);
+    check_golden("realtime_observed.csv", &observed);
 }
 
 #[test]
