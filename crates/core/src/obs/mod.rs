@@ -26,6 +26,7 @@
 
 pub mod export;
 pub mod metrics;
+pub mod names;
 pub mod registry;
 pub mod span;
 

@@ -1,0 +1,42 @@
+//! Canonical metric-name fragments shared across crates.
+//!
+//! The registry keys metrics by string name, so any name used from two
+//! places (a recording site in `mindful-pipeline`, a scoreboard or CI
+//! assertion reading a snapshot) must live in exactly one place. These
+//! constants are the *leaf* names; recording sites compose them under
+//! their own prefix (the pipeline uses
+//! `{prefix}.{index}.{stage}.secure.{name}`).
+
+/// Frames sealed by the authenticated sender.
+pub const FRAMES_SEALED: &str = "frames_sealed";
+
+/// Sealed frames that passed MAC + replay verification.
+pub const FRAMES_ACCEPTED: &str = "frames_accepted";
+
+/// Frames rejected by authentication (MAC mismatch, malformed
+/// envelope, key mismatch) — forged traffic, never accepted.
+pub const FRAMES_REJECTED_AUTH: &str = "frames_rejected_auth";
+
+/// Authentic frames rejected because their nonce was already accepted.
+pub const FRAMES_REPLAYED: &str = "frames_replayed";
+
+/// Frames older than the replay window can vouch for.
+pub const FRAMES_STALE: &str = "frames_stale";
+
+/// Frames quarantined by the neural firewall's coherence screen.
+pub const FRAMES_FIREWALLED: &str = "frames_firewalled";
+
+/// Latest firewall coherence score, in parts-per-million of 1.0.
+pub const COHERENCE_PPM: &str = "coherence_ppm";
+
+/// Every secure leaf name, in registration order — lets a scraper or
+/// test iterate the full secure gauge set without hard-coding it.
+pub const SECURE_METRICS: [&str; 7] = [
+    FRAMES_SEALED,
+    FRAMES_ACCEPTED,
+    FRAMES_REJECTED_AUTH,
+    FRAMES_REPLAYED,
+    FRAMES_STALE,
+    FRAMES_FIREWALLED,
+    COHERENCE_PPM,
+];

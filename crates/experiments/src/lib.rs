@@ -28,6 +28,7 @@ pub mod fig9;
 pub mod output;
 pub mod realtime;
 pub mod scoreboard;
+pub mod secure_study;
 pub mod snn_study;
 pub mod table1;
 pub mod wpt_study;
@@ -57,6 +58,7 @@ pub fn run_by_name(name: &str) -> Result<Artifacts> {
         "fig12" => fig12::render(&fig12::generate()?, &dir),
         "explore" => explore::render(&explore::generate()?, &dir),
         "ext_realtime" => realtime::render(&realtime::generate()?, &dir),
+        "ext_secure" => secure_study::render(&secure_study::generate()?, &dir),
         "ext_snn" => snn_study::render(&snn_study::generate()?, &dir),
         "ext_wpt" => wpt_study::render(&wpt_study::generate()?, &dir),
         "ext_ablations" => ablations::render(&ablations::generate()?, &dir),
@@ -76,9 +78,10 @@ pub const ALL_EXPERIMENTS: [&str; 9] = [
 
 /// The beyond-the-paper extension studies (Sections 7–8 directions),
 /// plus the full design-space exploration built on the sweep engine.
-pub const ALL_EXTENSIONS: [&str; 5] = [
+pub const ALL_EXTENSIONS: [&str; 6] = [
     "explore",
     "ext_realtime",
+    "ext_secure",
     "ext_snn",
     "ext_wpt",
     "ext_ablations",

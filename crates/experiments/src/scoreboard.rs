@@ -247,6 +247,44 @@ pub fn generate() -> Result<Scoreboard> {
         holds: !feasible.is_empty() && worst_rise > 0.0 && worst_rise <= 2.2,
     });
 
+    // Secure link (ONI L8 trust boundary): the adversarial study's
+    // deterministic soak — composite attacks over wire faults — must
+    // accept no forged or replayed frame, and its three-way ledger
+    // (payload truth / auth stats / injected plan) must balance.
+    let secure = crate::secure_study::generate()?;
+    rows.push(ScoreRow {
+        source: "Secure",
+        claim: "adversarial soak: forged or replayed frames accepted",
+        paper: "0".into(),
+        measured: format!(
+            "{} of {} attacks",
+            secure.forged_accepted + secure.replayed_accepted,
+            secure.attacks_launched()
+        ),
+        holds: secure.forged_accepted == 0
+            && secure.replayed_accepted == 0
+            && secure.attacks_launched() > 0,
+    });
+    rows.push(ScoreRow {
+        source: "Secure",
+        claim: "auth ledger balances against the injected plan; clean link transparent",
+        paper: "exact".into(),
+        measured: format!(
+            "ledger {} / clean {}",
+            if secure.ledger_balanced {
+                "exact"
+            } else {
+                "off"
+            },
+            if secure.clean_identical {
+                "exact"
+            } else {
+                "off"
+            },
+        ),
+        holds: secure.ledger_balanced && secure.clean_identical,
+    });
+
     // Observability cross-check: the metrics registry scraped from the
     // sweep engine must agree exactly with the result it returned.
     let observed_points = sweep.snapshot.counter("sweep.points").unwrap_or(0);
@@ -305,10 +343,14 @@ mod tests {
     #[test]
     fn every_claim_holds() {
         let board = generate().unwrap();
-        assert!(board.rows.len() >= 14);
+        assert!(board.rows.len() >= 16);
         assert!(
             board.rows.iter().filter(|r| r.source == "Sec. 3.2").count() >= 2,
             "the thermal-safety claims are on the board"
+        );
+        assert!(
+            board.rows.iter().filter(|r| r.source == "Secure").count() >= 2,
+            "the secure-link claims are on the board"
         );
         for row in &board.rows {
             assert!(

@@ -24,10 +24,12 @@
 
 use mindful_decode::DecodeError;
 use mindful_rf::arq::{ArqConfig, ArqLink, ArqStats};
-use mindful_rf::fault::{FaultPlan, FrameFault, WireFaultInjector};
+use mindful_rf::auth::{AuthConfig, AuthStats};
+use mindful_rf::fault::{AttackCounters, FaultPlan, FrameFault, WireFaultInjector};
 
 use crate::error::{PipelineError, Result};
 use crate::frame::{Frame, FrameBuf, StageOutput};
+use crate::secure::SecureTelemetry;
 use crate::stage::Stage;
 
 /// Fault counters a stage exposes to the pipeline driver.
@@ -266,8 +268,29 @@ impl LinkStage {
     /// Propagates ARQ config validation errors.
     pub fn new(config: ArqConfig, plan: Option<FaultPlan>, rtt: u64) -> Result<Self> {
         let injector = plan.map(WireFaultInjector::new);
+        Self::with_channel(config, injector, rtt, None)
+    }
+
+    /// Builds the link path over an explicit channel model: an
+    /// optional pre-built [`WireFaultInjector`] (which may carry an
+    /// [`mindful_rf::fault::Adversary`]) and an optional [`AuthConfig`]
+    /// that seals every frame and authenticates every delivery.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ARQ and auth config validation errors.
+    pub fn with_channel(
+        config: ArqConfig,
+        injector: Option<WireFaultInjector>,
+        rtt: u64,
+        auth: Option<&AuthConfig>,
+    ) -> Result<Self> {
+        let link = match auth {
+            None => ArqLink::new(config, injector, rtt)?,
+            Some(auth) => ArqLink::with_auth(config, injector, rtt, auth)?,
+        };
         Ok(Self {
-            link: ArqLink::new(config, injector, rtt)?,
+            link,
             samples: Vec::new(),
         })
     }
@@ -282,6 +305,18 @@ impl LinkStage {
     #[must_use]
     pub fn fault_counters(&self) -> Option<mindful_rf::fault::FaultCounters> {
         self.link.fault_counters()
+    }
+
+    /// The authentication ledger (`None` on an unauthenticated link).
+    #[must_use]
+    pub fn auth_stats(&self) -> Option<AuthStats> {
+        self.link.auth_stats()
+    }
+
+    /// The channel adversary's attack ledger (`None` without one).
+    #[must_use]
+    pub fn attack_counters(&self) -> Option<AttackCounters> {
+        self.link.attack_counters()
     }
 
     fn emit(&mut self, playout: mindful_rf::arq::Playout, out: &mut FrameBuf) {
@@ -327,6 +362,12 @@ impl Stage for LinkStage {
     fn fault_telemetry(&self) -> Option<FaultTelemetry> {
         let injected = self.link.fault_counters().map_or(0, |c| c.total());
         Some(FaultTelemetry::from_arq(self.link.stats(), injected))
+    }
+
+    fn secure_telemetry(&self) -> Option<SecureTelemetry> {
+        self.link
+            .auth_stats()
+            .map(|stats| SecureTelemetry::from_auth(&stats))
     }
 }
 

@@ -35,6 +35,7 @@ mod error;
 mod fault;
 mod frame;
 pub mod obs;
+mod secure;
 mod stage;
 mod stages;
 mod stream;
@@ -44,6 +45,7 @@ pub use fault::{
     ConcealStage, DegradePolicy, FaultStage, FaultTelemetry, LinkStage, VALUE_SATURATION,
 };
 pub use frame::{Frame, FrameBuf, FrameKind, StageOutput};
+pub use secure::{FirewallConfig, FirewallStage, SecureTelemetry, COHERENCE_SCALE};
 pub use stage::{Pipeline, Stage, StageTelemetry};
 pub use stages::{
     BinStage, DnnStage, IntentSchedule, KalmanStage, PacketizeStage, ReplaySource, SenseStage,
@@ -54,6 +56,7 @@ pub use stream::{run_streams, StreamReport, StreamSet};
 /// Convenient glob-import of the most used items.
 pub mod prelude {
     pub use crate::fault::{ConcealStage, DegradePolicy, FaultStage, FaultTelemetry, LinkStage};
+    pub use crate::secure::{FirewallConfig, FirewallStage, SecureTelemetry};
     pub use crate::stages::{
         BinStage, DnnStage, IntentSchedule, KalmanStage, PacketizeStage, ReplaySource, SenseStage,
         SpikeStage, WienerStage,

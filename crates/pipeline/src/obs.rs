@@ -18,11 +18,16 @@
 //! | `buffer_bytes` | gauge | output-buffer backing storage (high water = peak) |
 //! | `latency_ns` | histogram | per-frame wall time inside the stage |
 //! | `faults.<field>` | gauge | fault-counter snapshot (fault-aware stages only) |
+//! | `secure.<field>` | gauge | security-counter snapshot (secure-aware stages only) |
 //!
-//! Fault counters are *absolute* snapshots maintained by the stages
-//! themselves ([`crate::Stage::fault_telemetry`]), so they surface as
-//! gauges mirroring the latest snapshot rather than re-counted deltas —
-//! a scrape is field-exact against [`crate::FaultTelemetry`].
+//! Fault and security counters are *absolute* snapshots maintained by
+//! the stages themselves ([`crate::Stage::fault_telemetry`],
+//! [`crate::Stage::secure_telemetry`]), so they surface as gauges
+//! mirroring the latest snapshot rather than re-counted deltas — a
+//! scrape is field-exact against [`crate::FaultTelemetry`] /
+//! [`crate::SecureTelemetry`]. The `secure.*` leaf names are the
+//! canonical constants in [`mindful_core::obs::names`], shared with
+//! the scoreboard and CI assertions that read snapshots back.
 //!
 //! Without the crate's `obs` feature this module compiles to a no-op:
 //! `instrument` registers nothing and the driver records nothing.
@@ -41,6 +46,7 @@ use mindful_core::obs::{Counter, Gauge, Histogram, Registry};
 
 use crate::fault::FaultTelemetry;
 use crate::frame::{Frame, FrameBuf, StageOutput};
+use crate::secure::SecureTelemetry;
 
 /// Per-field gauges mirroring a stage's [`FaultTelemetry`] snapshot.
 #[cfg(feature = "obs")]
@@ -86,6 +92,47 @@ impl FaultGauges {
     }
 }
 
+/// Per-field gauges mirroring a stage's [`SecureTelemetry`] snapshot,
+/// named by the canonical leaves in [`mindful_core::obs::names`].
+#[cfg(feature = "obs")]
+#[derive(Debug, Clone)]
+struct SecureGauges {
+    sealed: Gauge,
+    accepted: Gauge,
+    rejected_auth: Gauge,
+    replayed: Gauge,
+    stale: Gauge,
+    firewalled: Gauge,
+    coherence_ppm: Gauge,
+}
+
+#[cfg(feature = "obs")]
+impl SecureGauges {
+    fn register(registry: &Registry, base: &str) -> Self {
+        use mindful_core::obs::names;
+        let gauge = |leaf: &str| registry.gauge(&format!("{base}.{leaf}"));
+        Self {
+            sealed: gauge(names::FRAMES_SEALED),
+            accepted: gauge(names::FRAMES_ACCEPTED),
+            rejected_auth: gauge(names::FRAMES_REJECTED_AUTH),
+            replayed: gauge(names::FRAMES_REPLAYED),
+            stale: gauge(names::FRAMES_STALE),
+            firewalled: gauge(names::FRAMES_FIREWALLED),
+            coherence_ppm: gauge(names::COHERENCE_PPM),
+        }
+    }
+
+    fn set(&self, t: &SecureTelemetry) {
+        self.sealed.set(t.sealed);
+        self.accepted.set(t.accepted);
+        self.rejected_auth.set(t.rejected_auth);
+        self.replayed.set(t.replayed);
+        self.stale.set(t.stale);
+        self.firewalled.set(t.firewalled);
+        self.coherence_ppm.set(t.coherence_ppm);
+    }
+}
+
 /// Registry handles for one instrumented stage slot.
 ///
 /// Registered once by [`crate::Pipeline::instrument`]; every recording
@@ -104,18 +151,22 @@ pub(crate) struct SlotObs {
     latency_ns: Histogram,
     #[cfg(feature = "obs")]
     faults: Option<FaultGauges>,
+    #[cfg(feature = "obs")]
+    secure: Option<SecureGauges>,
 }
 
 impl SlotObs {
     /// Registers the stage's metric family under
     /// `{prefix}.{index}.{name}`. `fault_aware` stages additionally get
-    /// the `faults.*` gauge set.
+    /// the `faults.*` gauge set, `secure_aware` stages the `secure.*`
+    /// set.
     pub(crate) fn register(
         registry: &Registry,
         prefix: &str,
         index: usize,
         name: &str,
         fault_aware: bool,
+        secure_aware: bool,
     ) -> Self {
         #[cfg(feature = "obs")]
         {
@@ -128,6 +179,8 @@ impl SlotObs {
                 latency_ns: registry.histogram(&format!("{base}.latency_ns")),
                 faults: fault_aware
                     .then(|| FaultGauges::register(registry, &format!("{base}.faults"))),
+                secure: secure_aware
+                    .then(|| SecureGauges::register(registry, &format!("{base}.secure"))),
             }
         }
         #[cfg(not(feature = "obs"))]
@@ -178,6 +231,16 @@ impl SlotObs {
     pub(crate) fn record_faults(&self, snapshot: Option<&FaultTelemetry>) {
         #[cfg(feature = "obs")]
         if let (Some(gauges), Some(t)) = (&self.faults, snapshot) {
+            gauges.set(t);
+        }
+    }
+
+    /// Mirrors the stage's latest security snapshot into the
+    /// `secure.*` gauges (no-op for secure-unaware stages).
+    #[inline]
+    pub(crate) fn record_secure(&self, snapshot: Option<&SecureTelemetry>) {
+        #[cfg(feature = "obs")]
+        if let (Some(gauges), Some(t)) = (&self.secure, snapshot) {
             gauges.set(t);
         }
     }

@@ -8,6 +8,7 @@ use crate::error::{PipelineError, Result};
 use crate::fault::FaultTelemetry;
 use crate::frame::{Frame, FrameBuf, StageOutput};
 use crate::obs::SlotObs;
+use crate::secure::SecureTelemetry;
 
 /// One step of the implant dataflow.
 ///
@@ -56,6 +57,15 @@ pub trait Stage: Send {
     fn fault_telemetry(&self) -> Option<FaultTelemetry> {
         None
     }
+
+    /// A snapshot of the stage's security counters, if it has any.
+    ///
+    /// Security-aware stages (authenticated links, the neural
+    /// firewall) override this; the driver copies the snapshot into
+    /// [`StageTelemetry::secure`] after every step.
+    fn secure_telemetry(&self) -> Option<SecureTelemetry> {
+        None
+    }
 }
 
 /// Per-stage counters accumulated by the pipeline driver.
@@ -76,6 +86,9 @@ pub struct StageTelemetry {
     /// Latest fault-counter snapshot ([`None`] for fault-unaware
     /// stages).
     pub faults: Option<FaultTelemetry>,
+    /// Latest security-counter snapshot ([`None`] for stages outside
+    /// the trust boundary).
+    pub secure: Option<SecureTelemetry>,
 }
 
 impl StageTelemetry {
@@ -88,6 +101,7 @@ impl StageTelemetry {
             bytes_out: 0,
             peak_buffer_bytes: 0,
             faults: None,
+            secure: None,
         }
     }
 
@@ -183,12 +197,14 @@ impl Pipeline {
     pub fn instrument(&mut self, registry: &Registry, prefix: &str) {
         for (index, slot) in self.slots.iter_mut().enumerate() {
             let fault_aware = slot.stage.fault_telemetry().is_some();
+            let secure_aware = slot.stage.secure_telemetry().is_some();
             slot.obs = Some(SlotObs::register(
                 registry,
                 prefix,
                 index,
                 slot.telemetry.name,
                 fault_aware,
+                secure_aware,
             ));
         }
     }
@@ -255,9 +271,11 @@ impl Pipeline {
             let elapsed = start.elapsed();
             slot.telemetry.record(elapsed, outcome, &slot.out);
             slot.telemetry.faults = slot.stage.fault_telemetry();
+            slot.telemetry.secure = slot.stage.secure_telemetry();
             if let Some(obs) = &slot.obs {
                 obs.record(elapsed, outcome, &slot.out);
                 obs.record_faults(slot.telemetry.faults.as_ref());
+                obs.record_secure(slot.telemetry.secure.as_ref());
             }
             if outcome == StageOutput::Pending {
                 return Ok(None);
@@ -282,9 +300,11 @@ impl Pipeline {
             let elapsed = t.elapsed();
             slot.telemetry.record(elapsed, outcome, &slot.out);
             slot.telemetry.faults = slot.stage.fault_telemetry();
+            slot.telemetry.secure = slot.stage.secure_telemetry();
             if let Some(obs) = &slot.obs {
                 obs.record(elapsed, outcome, &slot.out);
                 obs.record_faults(slot.telemetry.faults.as_ref());
+                obs.record_secure(slot.telemetry.secure.as_ref());
             }
             if outcome == StageOutput::Pending {
                 return Ok(false);
@@ -317,8 +337,10 @@ impl Pipeline {
                 let outcome = slot.stage.finish(&mut slot.out)?;
                 let elapsed = t.elapsed();
                 slot.telemetry.faults = slot.stage.fault_telemetry();
+                slot.telemetry.secure = slot.stage.secure_telemetry();
                 if let Some(obs) = &slot.obs {
                     obs.record_faults(slot.telemetry.faults.as_ref());
+                    obs.record_secure(slot.telemetry.secure.as_ref());
                 }
                 if outcome == StageOutput::Pending {
                     break;

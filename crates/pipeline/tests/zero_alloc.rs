@@ -220,6 +220,65 @@ fn warm_instrumented_five_stage_chain_is_allocation_free() {
     }
 }
 
+/// The secure-link chain of the authenticated-framing PR: sense →
+/// packetize → authenticated ARQ link (seal + NH/SipHash MAC verify +
+/// replay window) → neural firewall — allocation-free once the link's
+/// seal buffer, the MAC pad, and the firewall's baselines are warm.
+#[test]
+fn warm_secure_chain_is_allocation_free() {
+    use mindful_rf::arq::ArqConfig;
+    use mindful_rf::auth::{AuthConfig, AuthKey};
+
+    let _guard = MEASURE.lock().unwrap();
+    let ni = NeuralInterface::new(32, 600, 10, 5).unwrap();
+    let channels = ni.channels();
+    let auth = AuthConfig::new(AuthKey::from_seed(0xA110C, 2));
+    let mut pipeline = Pipeline::new()
+        .with_stage(SenseStage::from_interface(ni, IntentSchedule::FigureEight))
+        .with_stage(PacketizeStage::new(10).unwrap())
+        .with_stage(
+            LinkStage::with_channel(ArqConfig::selective_repeat(4), None, 1, Some(&auth)).unwrap(),
+        )
+        .with_stage(FirewallStage::new(channels, FirewallConfig::default()).unwrap());
+
+    // Warm-up long enough to flush the link's playout delay and to
+    // finish the firewall's warm-up window, so the measured region is
+    // pure steady state.
+    let mut warm_emitted = 0;
+    for _ in 0..80 {
+        if pipeline.step().unwrap().is_some() {
+            warm_emitted += 1;
+        }
+    }
+    assert!(warm_emitted > 0, "the link plays out during warm-up");
+
+    let mut emitted = 0;
+    let allocs = allocations_during(|| {
+        for _ in 0..32 {
+            if pipeline.step().unwrap().is_some() {
+                emitted += 1;
+            }
+        }
+    });
+    assert_eq!(emitted, 32, "steady state plays out every frame");
+    assert_eq!(
+        allocs, 0,
+        "a warm sense→packetize→auth-link→firewall chain must not allocate: \
+         sealing, MAC verification, and coherence scoring reuse their buffers"
+    );
+
+    // The crypto path really ran: every frame sealed and accepted, and
+    // the firewall scored a coherent stream without quarantining.
+    let telemetry = pipeline.telemetry();
+    let link = telemetry[2].secure.expect("link reports secure telemetry");
+    assert!(link.sealed >= (80 + 32) as u64);
+    assert_eq!(link.rejected_auth, 0);
+    let firewall = telemetry[3]
+        .secure
+        .expect("firewall reports secure telemetry");
+    assert_eq!(firewall.firewalled, 0);
+}
+
 /// The computation-centric variant: sensing straight into the embedded
 /// DNN, allocation-free after one warm frame.
 #[test]

@@ -34,8 +34,9 @@
 
 use std::collections::VecDeque;
 
+use crate::auth::{AuthConfig, AuthReceiver, AuthSender, AuthStats};
 use crate::error::{Result, RfError};
-use crate::fault::{FaultCounters, WireFaultInjector};
+use crate::fault::{AttackCounters, FaultCounters, WireFaultInjector};
 use crate::packet::{depacketize_into, HEADER_BYTES};
 
 /// Largest supported reorder window (slots are index-mapped by
@@ -486,6 +487,15 @@ impl TxWindow {
     }
 }
 
+/// Authentication state for one link direction: the sealing sender,
+/// the verifying receiver, and a reusable seal buffer.
+#[derive(Debug)]
+struct LinkAuth {
+    tx: AuthSender,
+    rx: AuthReceiver,
+    sealed: Vec<u8>,
+}
+
 /// A full link: transmitter history, optional fault injector, and the
 /// ARQ receiver, advanced in lock-step one packet per step.
 ///
@@ -494,11 +504,20 @@ impl TxWindow {
 /// with the injected plan exactly. (A lossy NAK channel would only
 /// change *when* a gap recovers, and the soak test pins totals, not
 /// timings.)
+///
+/// With [`ArqLink::with_auth`], every transmitted packet is sealed
+/// (`mindful_rf::auth`) before it enters the channel, and every
+/// delivered image must pass MAC + replay verification before it
+/// reaches the ARQ receiver. The transmit history stores *sealed*
+/// images, so retransmissions carry their original nonce — the replay
+/// window admits them precisely because a NAK'd sequence number was
+/// never accepted.
 #[derive(Debug)]
 pub struct ArqLink {
     tx: TxWindow,
     injector: Option<WireFaultInjector>,
     rx: ArqReceiver,
+    auth: Option<LinkAuth>,
     /// Steps between a NAK and its retransmission arriving.
     rtt: u64,
     step: u64,
@@ -529,6 +548,7 @@ impl ArqLink {
             tx: TxWindow::new(config.window),
             injector,
             rx: ArqReceiver::new(config)?,
+            auth: None,
             rtt,
             step: 0,
             last_seq: 0,
@@ -538,6 +558,29 @@ impl ArqLink {
             naks: Vec::new(),
             flushed: false,
         })
+    }
+
+    /// Builds an *authenticated* link: every packet is sealed under
+    /// `auth`'s key before the channel and verified (MAC + replay
+    /// window) before the ARQ receiver.
+    ///
+    /// # Errors
+    ///
+    /// Propagates config validation from both the ARQ and auth configs;
+    /// rejects `rtt == 0`.
+    pub fn with_auth(
+        config: ArqConfig,
+        injector: Option<WireFaultInjector>,
+        rtt: u64,
+        auth: &AuthConfig,
+    ) -> Result<Self> {
+        let mut link = Self::new(config, injector, rtt)?;
+        link.auth = Some(LinkAuth {
+            tx: AuthSender::new(auth),
+            rx: AuthReceiver::new(auth)?,
+            sealed: Vec::new(),
+        });
+        Ok(link)
     }
 
     /// Receiver counters.
@@ -550,6 +593,26 @@ impl ArqLink {
     #[must_use]
     pub fn fault_counters(&self) -> Option<FaultCounters> {
         self.injector.as_ref().map(WireFaultInjector::counters)
+    }
+
+    /// Adversary attack counters (`None` without an adversary).
+    #[must_use]
+    pub fn attack_counters(&self) -> Option<AttackCounters> {
+        self.injector
+            .as_ref()
+            .and_then(WireFaultInjector::attack_counters)
+    }
+
+    /// The authentication ledger (`None` on an unauthenticated link).
+    /// The `sealed` field counts the transmit side; all other fields
+    /// count the receive side.
+    #[must_use]
+    pub fn auth_stats(&self) -> Option<AuthStats> {
+        self.auth.as_ref().map(|a| {
+            let mut stats = a.rx.stats();
+            stats.sealed = a.tx.sealed();
+            stats
+        })
     }
 
     /// Frames transmitted so far.
@@ -580,19 +643,39 @@ impl ArqLink {
             });
         }
         let seq = u16::from_be_bytes([wire[2], wire[3]]);
+        // Seal first (when authenticated): the channel, the transmit
+        // history, and the receiver all see the sealed image.
+        if let Some(a) = &mut self.auth {
+            a.tx.seal_into(wire, &mut a.sealed)?;
+        }
         self.rx.prime(seq);
-        self.tx.insert(seq, wire);
+        {
+            let image = match &self.auth {
+                None => wire,
+                Some(a) => a.sealed.as_slice(),
+            };
+            self.tx.insert(seq, image);
+        }
         self.last_seq = seq;
         self.sent += 1;
         self.pump_retransmissions();
-        match &mut self.injector {
-            None => self.rx.push_wire(wire),
-            Some(injector) => {
+        match (&mut self.injector, &mut self.auth) {
+            (None, None) => self.rx.push_wire(wire),
+            (None, Some(a)) => {
+                if let Ok(inner) = a.rx.open(&a.sealed) {
+                    self.rx.push_wire(inner);
+                }
+            }
+            (Some(injector), auth) => {
                 let mut deliveries = core::mem::take(&mut self.deliveries);
                 deliveries.clear();
-                injector.push(wire, &mut deliveries);
+                let image = match auth {
+                    None => wire,
+                    Some(a) => a.sealed.as_slice(),
+                };
+                injector.push(image, &mut deliveries);
                 for image in &deliveries {
-                    self.rx.push_wire(image);
+                    Self::deliver(&mut self.rx, auth, image);
                 }
                 self.deliveries = deliveries;
             }
@@ -619,7 +702,7 @@ impl ArqLink {
                 deliveries.clear();
                 injector.flush(&mut deliveries);
                 for image in &deliveries {
-                    self.rx.push_wire(image);
+                    Self::deliver(&mut self.rx, &mut self.auth, image);
                 }
                 self.deliveries = deliveries;
             }
@@ -639,6 +722,20 @@ impl ArqLink {
         playout
     }
 
+    /// Verifies (when authenticated) and feeds one delivered image to
+    /// the ARQ receiver. Frames failing MAC or replay checks are
+    /// counted in the auth ledger and never reach the receiver.
+    fn deliver(rx: &mut ArqReceiver, auth: &mut Option<LinkAuth>, image: &[u8]) {
+        match auth {
+            None => rx.push_wire(image),
+            Some(a) => {
+                if let Ok(inner) = a.rx.open(image) {
+                    rx.push_wire(inner);
+                }
+            }
+        }
+    }
+
     /// Delivers due retransmissions on the clean return channel. A
     /// sequence number that was recovered some other way in the
     /// meantime is discarded rather than delivered as a duplicate.
@@ -652,7 +749,7 @@ impl ArqLink {
                 continue;
             }
             if let Some(wire) = self.tx.get(seq) {
-                self.rx.push_wire(wire);
+                Self::deliver(&mut self.rx, &mut self.auth, wire);
             }
         }
     }
@@ -845,6 +942,96 @@ mod tests {
         }
         assert_eq!(n, 60 - window);
         assert_eq!(link.stats().lost, 0);
+    }
+
+    #[test]
+    fn authenticated_clean_link_is_byte_identical_to_plain() {
+        use crate::auth::{AuthConfig, AuthKey};
+        let window = 8;
+        let auth = AuthConfig::new(AuthKey::from_seed(0xC1EA, 1));
+        let mut link =
+            ArqLink::with_auth(ArqConfig::selective_repeat(window), None, 2, &auth).unwrap();
+        let mut out = Vec::new();
+        let mut played = 0;
+        for seq in 0..100_u16 {
+            let (_, wire) = frame(seq);
+            if let Some(p) = link.step_into(&wire, &mut out).unwrap() {
+                assert!(p.delivered);
+                assert_eq!(out, frame(p.sequence).0, "crypto must not perturb payloads");
+                played += 1;
+            }
+        }
+        while let Some(p) = link.finish_into(&mut out) {
+            assert!(p.delivered);
+            played += 1;
+        }
+        assert_eq!(played, 100);
+        let auth_stats = link.auth_stats().unwrap();
+        assert_eq!(auth_stats.sealed, 100);
+        assert_eq!(auth_stats.accepted, 100);
+        assert_eq!(auth_stats.rejected_total(), 0);
+        assert_eq!(link.stats().corrupted, 0);
+    }
+
+    #[test]
+    fn authenticated_link_recovers_faults_and_repels_attacks() {
+        use crate::auth::{AuthConfig, AuthKey};
+        use crate::fault::{Adversary, AttackConfig};
+        let key = AuthKey::from_seed(0x5AFE, 2);
+        let auth = AuthConfig::new(key);
+        let adversary = Adversary::new(AttackConfig::composite(0.25), 0xBAD5EED, 2).unwrap();
+        let plan = FaultPlan::new(FaultConfig::wire_composite(0.1), 4321).unwrap();
+        let injector = WireFaultInjector::with_adversary(plan, adversary);
+        let mut link =
+            ArqLink::with_auth(ArqConfig::selective_repeat(16), Some(injector), 2, &auth).unwrap();
+        let mut out = Vec::new();
+        const SENT: u64 = 2000;
+        let mut played = 0_u64;
+        let check = |p: Playout, out: &[u16]| {
+            if p.delivered {
+                assert_eq!(out, frame(p.sequence).0, "forgery reached the playout");
+            }
+        };
+        for seq in 0..SENT {
+            let (_, wire) = frame(seq as u16);
+            if let Some(p) = link.step_into(&wire, &mut out).unwrap() {
+                check(p, &out);
+                played += 1;
+            }
+        }
+        while let Some(p) = link.finish_into(&mut out) {
+            check(p, &out);
+            played += 1;
+        }
+        assert_eq!(played, SENT, "every frame plays out exactly once");
+        let stats = link.stats();
+        let faults = link.fault_counters().unwrap();
+        let attacks = link.attack_counters().unwrap();
+        let auth_stats = link.auth_stats().unwrap();
+        assert!(
+            attacks.total() > 0,
+            "25% composite must fire in 2000 frames"
+        );
+        // Under auth the ARQ receiver sees only verified inner packets:
+        // nothing corrupt and no duplicates ever reach it.
+        assert_eq!(stats.corrupted, 0);
+        assert_eq!(stats.duplicates, 0);
+        assert_eq!(auth_stats.accepted, stats.received);
+        // Replays are exactly the channel duplicates plus the
+        // adversary's replay attacks.
+        assert_eq!(auth_stats.replayed, faults.duplicates + attacks.replayed);
+        // Every attack and corruption is rejected somewhere; none is
+        // accepted.
+        assert_eq!(
+            auth_stats.rejected_auth() + auth_stats.stale,
+            faults.corruptions() + attacks.total() - attacks.replayed
+        );
+        assert!(auth_stats.rejected_mac >= attacks.mac_rejected_expected());
+        assert!(auth_stats.rejected_key >= attacks.key_mismatched);
+        assert!(
+            stats.recovered > 0 && stats.lost == 0,
+            "ARQ still recovers every drop through the authenticated path: {stats:?}"
+        );
     }
 
     #[test]

@@ -39,6 +39,11 @@ pub enum RfError {
         /// What was wrong.
         reason: &'static str,
     },
+    /// A sealed frame failed authentication or replay checks.
+    AuthReject {
+        /// What was wrong.
+        reason: &'static str,
+    },
     /// An error bubbled up from the core framework.
     Core(mindful_core::CoreError),
 }
@@ -60,6 +65,7 @@ impl fmt::Display for RfError {
             }
             Self::LinkInfeasible { reason } => write!(f, "link infeasible: {reason}"),
             Self::CorruptPacket { reason } => write!(f, "corrupt packet: {reason}"),
+            Self::AuthReject { reason } => write!(f, "auth reject: {reason}"),
             Self::Core(e) => write!(f, "{e}"),
         }
     }
@@ -98,6 +104,9 @@ mod tests {
         assert!(RfError::CorruptPacket { reason: "bad crc" }
             .to_string()
             .contains("bad crc"));
+        assert!(RfError::AuthReject { reason: "replayed" }
+            .to_string()
+            .contains("replayed"));
     }
 
     #[test]

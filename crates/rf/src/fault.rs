@@ -23,7 +23,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::auth::{AuthConfig, AuthKey, AuthSender, AUTH_MAGIC, AUTH_TAG_BYTES, MIN_SEALED_BYTES};
 use crate::error::{Result, RfError};
+use crate::packet::packetize;
 
 /// Per-packet / per-frame fault probabilities.
 ///
@@ -376,6 +378,366 @@ impl FaultPlan {
     }
 }
 
+// ---------------------------------------------------------------------
+// Active adversary
+// ---------------------------------------------------------------------
+
+/// Per-packet attack probabilities for the active adversary.
+///
+/// Unlike [`FaultConfig`], whose faults model an unreliable channel,
+/// these model a *malicious* peer injecting crafted frames alongside
+/// the legitimate stream. At most one attack is launched per pushed
+/// packet, so the rates must sum to at most 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackConfig {
+    /// Inject a frame forged under the attacker's own key (but the
+    /// victim's key id).
+    pub forge: f64,
+    /// Re-inject a frame the receiver has already accepted.
+    pub replay: f64,
+    /// Splice the prefix of an old accepted frame onto the suffix of
+    /// the current one (reorder-splice).
+    pub splice: f64,
+    /// Truncate the current frame and extend it back to full length
+    /// with garbage.
+    pub truncate_extend: f64,
+    /// Deliver the current frame re-labelled with a foreign key id.
+    pub key_mismatch: f64,
+}
+
+impl AttackConfig {
+    /// No attacks — the passive-adversary baseline.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            forge: 0.0,
+            replay: 0.0,
+            splice: 0.0,
+            truncate_extend: 0.0,
+            key_mismatch: 0.0,
+        }
+    }
+
+    /// A composite mix: `rate` split evenly across all five attacks.
+    #[must_use]
+    pub fn composite(rate: f64) -> Self {
+        let each = rate / 5.0;
+        Self {
+            forge: each,
+            replay: each,
+            splice: each,
+            truncate_extend: each,
+            key_mismatch: each,
+        }
+    }
+
+    /// Sum of all per-packet attack rates.
+    #[must_use]
+    pub fn total_rate(&self) -> f64 {
+        self.forge + self.replay + self.splice + self.truncate_extend + self.key_mismatch
+    }
+
+    /// Validates every rate lies in `[0, 1]` and the total does not
+    /// exceed 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RfError::InvalidParameter`] on violation.
+    pub fn validate(&self) -> Result<()> {
+        for (name, value) in [
+            ("forge rate", self.forge),
+            ("replay rate", self.replay),
+            ("splice rate", self.splice),
+            ("truncate-extend rate", self.truncate_extend),
+            ("key mismatch rate", self.key_mismatch),
+        ] {
+            if !(0.0..=1.0).contains(&value) || value.is_nan() {
+                return Err(RfError::InvalidParameter { name, value });
+            }
+        }
+        let total = self.total_rate();
+        if total > 1.0 {
+            return Err(RfError::InvalidParameter {
+                name: "total attack rate",
+                value: total,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One attack decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// Forge a frame under the attacker's key.
+    Forge,
+    /// Replay a previously accepted frame.
+    Replay,
+    /// Splice two authentic frames together.
+    Splice,
+    /// Truncate and re-extend the current frame.
+    TruncateExtend,
+    /// Flip the key-id byte of the current frame.
+    KeyMismatch,
+}
+
+/// Counts of attack frames actually injected, by kind.
+///
+/// Counted at *apply* time — a drawn attack that cannot be realised
+/// (for example a replay before any frame was delivered intact) is
+/// vetoed and never counted, so these numbers equate exactly with the
+/// receiver's rejection ledger.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AttackCounters {
+    /// Frames forged under the attacker's key (rejected: MAC).
+    pub forged: u64,
+    /// Accepted frames replayed verbatim (rejected: replay window).
+    pub replayed: u64,
+    /// Spliced frame pairs (rejected: MAC).
+    pub spliced: u64,
+    /// Truncate-then-extend mutations (rejected: MAC).
+    pub truncated_extended: u64,
+    /// Key-id relabelings (rejected: key mismatch).
+    pub key_mismatched: u64,
+}
+
+impl AttackCounters {
+    /// Total attack frames injected.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.forged + self.replayed + self.spliced + self.truncated_extended + self.key_mismatched
+    }
+
+    /// Attack frames the receiver must reject on MAC grounds.
+    #[must_use]
+    pub fn mac_rejected_expected(&self) -> u64 {
+        self.forged + self.spliced + self.truncated_extended
+    }
+}
+
+/// A deterministic, seeded attack schedule.
+///
+/// Mirrors [`FaultPlan`]: every decision consumes a fixed draw pattern
+/// (one uniform + two raw words), so the attack sequence is a pure
+/// function of `(config, seed)` regardless of which attacks are vetoed
+/// downstream.
+#[derive(Debug, Clone)]
+pub struct AttackPlan {
+    config: AttackConfig,
+    rng: StdRng,
+}
+
+impl AttackPlan {
+    /// Creates a plan from a validated config and a seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AttackConfig::validate`] errors.
+    pub fn new(config: AttackConfig, seed: u64) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// The plan's configuration.
+    #[must_use]
+    pub fn config(&self) -> AttackConfig {
+        self.config
+    }
+
+    /// Decides the attack (if any) to launch alongside the next packet,
+    /// together with two raw words of attack-specific entropy.
+    pub fn next_attack(&mut self) -> Option<(AttackKind, u64, u64)> {
+        let u: f64 = self.rng.random();
+        let r1: u64 = self.rng.random();
+        let r2: u64 = self.rng.random();
+        let c = self.config;
+        let mut edge = c.forge;
+        if u < edge {
+            return Some((AttackKind::Forge, r1, r2));
+        }
+        edge += c.replay;
+        if u < edge {
+            return Some((AttackKind::Replay, r1, r2));
+        }
+        edge += c.splice;
+        if u < edge {
+            return Some((AttackKind::Splice, r1, r2));
+        }
+        edge += c.truncate_extend;
+        if u < edge {
+            return Some((AttackKind::TruncateExtend, r1, r2));
+        }
+        edge += c.key_mismatch;
+        if u < edge {
+            return Some((AttackKind::KeyMismatch, r1, r2));
+        }
+        None
+    }
+}
+
+/// How many recently accepted frames the adversary keeps for replay and
+/// splice material. Small enough that every remembered frame is well
+/// inside any sane replay window when re-injected.
+const ADVERSARY_HISTORY: usize = 32;
+
+/// An active adversary over a *sealed* (authenticated) packet stream.
+///
+/// The adversary watches the channel like a man-in-the-middle: every
+/// frame delivered intact is remembered (up to [`ADVERSARY_HISTORY`]
+/// frames), and per pushed packet it may inject one crafted frame. Each
+/// attack is built so its rejection class is knowable in advance, which
+/// is what lets the soak equate [`AttackCounters`] with the receiver's
+/// [`crate::auth::AuthStats`] field-by-field:
+///
+/// * **forge** → MAC mismatch (attacker key ≠ link key);
+/// * **replay** → replay window (the original was delivered intact
+///   first, so it was accepted);
+/// * **splice** → MAC mismatch (prefix nonce disagrees with suffix
+///   tag);
+/// * **truncate-extend** → MAC mismatch (tag bytes mangled, header
+///   intact);
+/// * **key mismatch** → key-id rejection before any MAC work.
+#[derive(Debug, Clone)]
+pub struct Adversary {
+    plan: AttackPlan,
+    forger: AuthKey,
+    history: Vec<Vec<u8>>,
+    counters: AttackCounters,
+}
+
+impl Adversary {
+    /// An adversary attacking a link whose frames advertise
+    /// `victim_key_id`. The attacker's own key material is derived from
+    /// `seed` and is distinct from any [`AuthKey::from_seed`] victim key
+    /// with overwhelming probability.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AttackConfig::validate`] errors.
+    pub fn new(config: AttackConfig, seed: u64, victim_key_id: u8) -> Result<Self> {
+        Ok(Self {
+            plan: AttackPlan::new(config, seed)?,
+            forger: AuthKey::from_seed(seed ^ 0xADBE_EF00_0000_0000, victim_key_id),
+            history: Vec::new(),
+            counters: AttackCounters::default(),
+        })
+    }
+
+    /// Counts of attacks launched so far.
+    #[must_use]
+    pub fn counters(&self) -> AttackCounters {
+        self.counters
+    }
+
+    /// Records a frame that was delivered intact (and will therefore be
+    /// accepted by the receiver) as replay/splice material. Non-sealed
+    /// frames are ignored — the adversary only attacks the
+    /// authenticated format.
+    pub fn remember(&mut self, wire: &[u8]) {
+        if wire.len() < MIN_SEALED_BYTES || wire[0..2] != AUTH_MAGIC.to_be_bytes() {
+            return;
+        }
+        if self.history.len() == ADVERSARY_HISTORY {
+            self.history.remove(0);
+        }
+        self.history.push(wire.to_vec());
+    }
+
+    /// Possibly injects one attack frame alongside the (pristine) wire
+    /// image `wire`, appending it to `out` after the legitimate
+    /// deliveries. Vetoed attacks (no history yet, degenerate sizes)
+    /// draw from the plan but count nothing.
+    pub fn raid(&mut self, wire: &[u8], out: &mut Vec<Vec<u8>>) {
+        let Some((kind, r1, r2)) = self.plan.next_attack() else {
+            return;
+        };
+        if wire.len() < MIN_SEALED_BYTES || wire[0..2] != AUTH_MAGIC.to_be_bytes() {
+            return;
+        }
+        let crafted = match kind {
+            AttackKind::Forge => self.forge(wire, r1),
+            AttackKind::Replay => self.replay(r1),
+            AttackKind::Splice => self.splice(wire, r1, r2),
+            AttackKind::TruncateExtend => Self::truncate_extend(wire, r1),
+            AttackKind::KeyMismatch => Self::key_mismatch(wire),
+        };
+        if let Some(frame) = crafted {
+            match kind {
+                AttackKind::Forge => self.counters.forged += 1,
+                AttackKind::Replay => self.counters.replayed += 1,
+                AttackKind::Splice => self.counters.spliced += 1,
+                AttackKind::TruncateExtend => self.counters.truncated_extended += 1,
+                AttackKind::KeyMismatch => self.counters.key_mismatched += 1,
+            }
+            out.push(frame);
+        }
+    }
+
+    /// A frame sealed under the attacker's key, mimicking the current
+    /// frame's sequence number (so the receiver reaches the MAC check
+    /// rather than tripping a stale-nonce rejection).
+    fn forge(&mut self, wire: &[u8], raw: u64) -> Option<Vec<u8>> {
+        let seq = u16::from_be_bytes([wire[6], wire[7]]);
+        let samples: Vec<u16> = (0..8_u32)
+            .map(|i| ((raw >> (i * 8)) as u16) & 0x3FF)
+            .collect();
+        let inner = packetize(seq, &samples, 10).ok()?;
+        let mut tx = AuthSender::new(&AuthConfig::new(self.forger));
+        let mut sealed = Vec::new();
+        tx.seal_into(&inner, &mut sealed).ok()?;
+        Some(sealed)
+    }
+
+    /// A verbatim copy of a frame the receiver already accepted.
+    fn replay(&mut self, raw: u64) -> Option<Vec<u8>> {
+        if self.history.is_empty() {
+            return None;
+        }
+        Some(self.history[(raw as usize) % self.history.len()].clone())
+    }
+
+    /// Prefix of an old accepted frame, suffix of the current one. The
+    /// cut keeps the old frame's sequence bytes in the prefix and the
+    /// current frame's MAC in the suffix, so the tag can never verify
+    /// under the spliced nonce.
+    fn splice(&mut self, wire: &[u8], r1: u64, r2: u64) -> Option<Vec<u8>> {
+        if self.history.is_empty() || wire.len() < 18 {
+            return None;
+        }
+        let old = &self.history[(r1 as usize) % self.history.len()];
+        if old.len() != wire.len() || old.as_slice() == wire {
+            return None;
+        }
+        let cut = 9 + (r2 as usize) % (wire.len() - 17);
+        let mut spliced = old[..cut].to_vec();
+        spliced.extend_from_slice(&wire[cut..]);
+        if spliced.as_slice() == wire || spliced == *old {
+            return None;
+        }
+        Some(spliced)
+    }
+
+    /// The current frame truncated by 1–8 bytes and re-extended to full
+    /// length with inverted garbage (guaranteed different, same size).
+    fn truncate_extend(wire: &[u8], raw: u64) -> Option<Vec<u8>> {
+        let tail = 1 + (raw as usize) % AUTH_TAG_BYTES;
+        let len = wire.len();
+        let mut out = wire[..len - tail].to_vec();
+        out.extend(wire[len - tail..].iter().map(|b| b ^ 0xA5));
+        Some(out)
+    }
+
+    /// The current frame re-labelled with a foreign key id.
+    fn key_mismatch(wire: &[u8]) -> Option<Vec<u8>> {
+        let mut out = wire.to_vec();
+        out[3] ^= 0x55;
+        Some(out)
+    }
+}
+
 /// Applies a [`FaultPlan`]'s wire faults to a packet stream.
 ///
 /// Push each outgoing packet; the injector appends what the channel
@@ -383,17 +745,37 @@ impl FaultPlan {
 /// delivery list. A reordered packet is held back and delivered right
 /// after its successor; [`WireFaultInjector::flush`] releases a held
 /// packet at end of stream.
+///
+/// With [`WireFaultInjector::with_adversary`], an active [`Adversary`]
+/// rides on the same channel: it observes every intact delivery and may
+/// append one crafted attack frame per pushed packet, after the
+/// legitimate deliveries.
 #[derive(Debug, Clone)]
 pub struct WireFaultInjector {
     plan: FaultPlan,
     held: Option<Vec<u8>>,
+    adversary: Option<Adversary>,
 }
 
 impl WireFaultInjector {
     /// Wraps a plan.
     #[must_use]
     pub fn new(plan: FaultPlan) -> Self {
-        Self { plan, held: None }
+        Self {
+            plan,
+            held: None,
+            adversary: None,
+        }
+    }
+
+    /// Wraps a plan and an active adversary.
+    #[must_use]
+    pub fn with_adversary(plan: FaultPlan, adversary: Adversary) -> Self {
+        Self {
+            plan,
+            held: None,
+            adversary: Some(adversary),
+        }
     }
 
     /// Counts of faults injected so far.
@@ -402,15 +784,24 @@ impl WireFaultInjector {
         self.plan.counters()
     }
 
+    /// Counts of adversary attacks launched so far, if an adversary is
+    /// attached.
+    #[must_use]
+    pub fn attack_counters(&self) -> Option<AttackCounters> {
+        self.adversary.as_ref().map(Adversary::counters)
+    }
+
     /// Transmits one packet through the faulty channel, appending the
     /// delivered packet images to `out`.
     pub fn push(&mut self, wire: &[u8], out: &mut Vec<Vec<u8>>) {
         let fault = self.plan.next_wire_fault(wire.len(), self.held.is_none());
         let mut delivered = false;
+        let mut intact = false;
         match fault {
             None => {
                 out.push(wire.to_vec());
                 delivered = true;
+                intact = true;
             }
             Some(WireFault::BitFlip { bit }) => {
                 let mut bad = wire.to_vec();
@@ -427,6 +818,7 @@ impl WireFaultInjector {
                 out.push(wire.to_vec());
                 out.push(wire.to_vec());
                 delivered = true;
+                intact = true;
             }
             Some(WireFault::Reorder) => {
                 self.held = Some(wire.to_vec());
@@ -436,8 +828,20 @@ impl WireFaultInjector {
         // delivery, i.e. exactly one packet late.
         if delivered {
             if let Some(held) = self.held.take() {
+                if let Some(adv) = &mut self.adversary {
+                    adv.remember(&held);
+                }
                 out.push(held);
             }
+        }
+        if let Some(adv) = &mut self.adversary {
+            if intact {
+                adv.remember(wire);
+            }
+            // The raid runs after the legitimate deliveries, so a
+            // replay of this very frame arrives after the original was
+            // accepted.
+            adv.raid(wire, out);
         }
     }
 
@@ -591,6 +995,101 @@ mod tests {
             c.corruptions(),
             "CRC detects every injected corruption"
         );
+    }
+
+    #[test]
+    fn attack_config_validation_rejects_bad_rates() {
+        assert!(AttackConfig::none().validate().is_ok());
+        assert!(AttackConfig::composite(0.5).validate().is_ok());
+        let mut bad = AttackConfig::none();
+        bad.replay = 1.5;
+        assert!(bad.validate().is_err());
+        bad.replay = f64::NAN;
+        assert!(bad.validate().is_err());
+        let mut over = AttackConfig::none();
+        over.forge = 0.6;
+        over.splice = 0.6;
+        assert!(over.validate().is_err());
+        assert!(AttackPlan::new(over, 1).is_err());
+        assert!(Adversary::new(over, 1, 0).is_err());
+    }
+
+    #[test]
+    fn attack_plans_are_deterministic() {
+        let config = AttackConfig::composite(0.8);
+        let mut a = AttackPlan::new(config, 99).unwrap();
+        let mut b = AttackPlan::new(config, 99).unwrap();
+        let mut fired = 0;
+        for _ in 0..500 {
+            let x = a.next_attack();
+            assert_eq!(x, b.next_attack());
+            fired += u32::from(x.is_some());
+        }
+        assert!(fired > 0, "80% composite must fire");
+    }
+
+    #[test]
+    fn every_attack_kind_is_rejected_and_ledgered() {
+        use crate::auth::{AuthConfig, AuthKey, AuthReceiver, AuthSender};
+        // Drive a sealed stream through an adversary-only channel (no
+        // channel faults) and check the receiver's ledger equates with
+        // the attack counters field-by-field.
+        let key = AuthKey::from_seed(0xD00D, 3);
+        let auth = AuthConfig::new(key);
+        let mut tx = AuthSender::new(&auth);
+        let mut rx = AuthReceiver::new(&auth).unwrap();
+        let adversary = Adversary::new(AttackConfig::composite(0.9), 0xA77AC4, 3).unwrap();
+        let mut injector = WireFaultInjector::with_adversary(
+            FaultPlan::new(FaultConfig::none(), 1).unwrap(),
+            adversary,
+        );
+        let mut sealed = Vec::new();
+        let mut delivered = Vec::new();
+        const SENT: u64 = 2000;
+        for seq in 0..SENT {
+            let samples: Vec<u16> = (0..16).map(|c| (c + seq as u16) % 1024).collect();
+            let inner = packetize(seq as u16, &samples, 10).unwrap();
+            tx.seal_into(&inner, &mut sealed).unwrap();
+            injector.push(&sealed, &mut delivered);
+            for frame in delivered.drain(..) {
+                let _ = rx.open(&frame);
+            }
+        }
+        let attacks = injector.attack_counters().unwrap();
+        let stats = rx.stats();
+        // Every attack kind fired in 2000 rounds at 18% each.
+        assert!(attacks.forged > 0, "no forgeries launched");
+        assert!(attacks.replayed > 0, "no replays launched");
+        assert!(attacks.spliced > 0, "no splices launched");
+        assert!(attacks.truncated_extended > 0, "no truncate-extends");
+        assert!(attacks.key_mismatched > 0, "no key mismatches");
+        // Field-exact ledger: every legitimate frame accepted, every
+        // attack rejected in its predicted class.
+        assert_eq!(stats.accepted, SENT);
+        assert_eq!(stats.rejected_mac, attacks.mac_rejected_expected());
+        assert_eq!(stats.rejected_key, attacks.key_mismatched);
+        assert_eq!(stats.replayed, attacks.replayed);
+        assert_eq!(stats.rejected_malformed, 0);
+        assert_eq!(stats.stale, 0);
+        assert_eq!(stats.rejected_total(), attacks.total());
+    }
+
+    #[test]
+    fn adversary_ignores_unsealed_streams() {
+        let mut config = AttackConfig::none();
+        config.replay = 1.0;
+        let adversary = Adversary::new(config, 8, 0).unwrap();
+        let mut injector = WireFaultInjector::with_adversary(
+            FaultPlan::new(FaultConfig::none(), 1).unwrap(),
+            adversary,
+        );
+        let mut out = Vec::new();
+        for seq in 0..20_u16 {
+            let wire = packetize(seq, &[1, 2], 8).unwrap();
+            injector.push(&wire, &mut out);
+        }
+        assert_eq!(out.len(), 20, "no attack frames on a plain stream");
+        assert_eq!(injector.attack_counters().unwrap().total(), 0);
     }
 
     #[test]

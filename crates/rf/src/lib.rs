@@ -23,6 +23,7 @@
 //! ```
 
 pub mod arq;
+pub mod auth;
 pub mod efficiency;
 mod error;
 pub mod fault;
@@ -40,12 +41,16 @@ pub use error::{Result, RfError};
 /// Convenient glob-import of the most used items.
 pub mod prelude {
     pub use crate::arq::{ArqConfig, ArqLink, ArqReceiver, ArqStats, Playout, TxWindow};
+    pub use crate::auth::{
+        AuthConfig, AuthKey, AuthReceiver, AuthSender, AuthStats, ReplayVerdict, ReplayWindow,
+    };
     pub use crate::efficiency::{
         max_channels_at_efficiency, qam_operating_point, QamOperatingPoint, CURRENT_QAM_EFFICIENCY,
         SHORT_TERM_QAM_EFFICIENCY,
     };
     pub use crate::fault::{
-        FaultConfig, FaultCounters, FaultPlan, FrameFault, WireFault, WireFaultInjector,
+        Adversary, AttackConfig, AttackCounters, AttackKind, AttackPlan, FaultConfig,
+        FaultCounters, FaultPlan, FrameFault, WireFault, WireFaultInjector,
     };
     pub use crate::linkbudget::LinkBudget;
     pub use crate::modem::{AwgnChannel, Modem, Symbol};

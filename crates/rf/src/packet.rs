@@ -154,14 +154,21 @@ pub fn depacketize(wire: &[u8]) -> Result<Frame> {
 }
 
 /// Like [`depacketize`], but writes the samples into `samples` (cleared
-/// first) and returns only the fixed-size header. Allocation-free once
-/// `samples` has capacity for the channel count.
+/// after full validation) and returns only the fixed-size header.
+/// Allocation-free once `samples` has capacity for the channel count.
+///
+/// Validation runs to completion — truncation, magic, header, length,
+/// CRC — before a single byte of `samples` is touched, so a rejected
+/// frame leaves the caller's buffer exactly as it was. This matters
+/// above us: the authenticated path (`mindful_rf::auth`) promises that
+/// nothing an attacker sends can perturb decoder state, and a
+/// clear-before-validate here would quietly break that by letting a
+/// truncated forgery wipe the previous frame.
 ///
 /// # Errors
 ///
-/// Same as [`depacketize`]; on error `samples` is left cleared.
+/// Same as [`depacketize`]; on error `samples` is left untouched.
 pub fn depacketize_into(wire: &[u8], samples: &mut Vec<u16>) -> Result<FrameHeader> {
-    samples.clear();
     if wire.len() < HEADER_BYTES + TRAILER_BYTES {
         return Err(RfError::CorruptPacket {
             reason: "truncated",
@@ -197,6 +204,7 @@ pub fn depacketize_into(wire: &[u8], samples: &mut Vec<u16>) -> Result<FrameHead
     }
 
     let payload = &body[HEADER_BYTES..];
+    samples.clear();
     samples.reserve(channels);
     let mut acc: u32 = 0;
     let mut acc_bits: u32 = 0;
@@ -313,6 +321,36 @@ mod tests {
         let wire = packetize(0, &samples, 8).unwrap();
         for cut in 0..wire.len() {
             assert!(depacketize(&wire[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn truncated_frames_never_touch_the_output_buffer() {
+        // Regression for the pre-write-validation audit: every possible
+        // truncation must be rejected before any payload byte lands in
+        // the caller's buffer, or the auth layer's "rejected frames are
+        // side-effect free" promise breaks.
+        let samples: Vec<u16> = (0..64).collect();
+        let wire = packetize(11, &samples, 12).unwrap();
+        let sentinel: Vec<u16> = vec![0xDEAD; 5];
+        for cut in 0..wire.len() {
+            let mut out = sentinel.clone();
+            assert!(depacketize_into(&wire[..cut], &mut out).is_err());
+            assert_eq!(out, sentinel, "cut at {cut} perturbed the buffer");
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_never_touch_the_output_buffer() {
+        let samples: Vec<u16> = (0..64).collect();
+        let wire = packetize(11, &samples, 12).unwrap();
+        let sentinel: Vec<u16> = vec![0xDEAD; 5];
+        for idx in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[idx] ^= 0x40;
+            let mut out = sentinel.clone();
+            assert!(depacketize_into(&bad, &mut out).is_err());
+            assert_eq!(out, sentinel, "flip at byte {idx} perturbed the buffer");
         }
     }
 
