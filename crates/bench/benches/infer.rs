@@ -17,7 +17,10 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, Criterion};
 use mindful_core::pool::default_threads;
 use mindful_dnn::infer::Network;
+use mindful_dnn::kernels::{dense_into_at, transpose_dense};
 use mindful_dnn::models::{ModelFamily, BASE_CHANNELS};
+use mindful_dnn::quant::QuantizedNetwork;
+use mindful_dnn::simd::{self, SimdLevel};
 
 /// Channel count for the batch-scaling model (α = 2 MLP, ~2.6M MACs —
 /// heavy enough that fan-out dominates thread spawn cost).
@@ -129,6 +132,73 @@ fn report_infer_acceptance(_c: &mut Criterion) {
          got {single_speedup:.2}x ({blocked_ns:.0} ns vs {naive_ns:.0} ns)"
     );
 
+    // SIMD kernel gate: `dense_into` on a deep narrow dense layer
+    // (256 -> 16, L1-resident) under the detected level vs the blocked
+    // scalar oracle — the shape where holding the output tile in
+    // registers across every input row pays most, so the contract has
+    // margin over run-to-run noise. Skipped with a notice when the
+    // host resolves to scalar (no AVX2/NEON, or MINDFUL_SIMD=0).
+    let level = simd::level();
+    let (d_in, d_out) = (2 * BASE_CHANNELS as usize, 16);
+    let weights_t = transpose_dense(&sample(d_in * d_out, 3), d_in, d_out);
+    let dense_bias = sample(d_out, 5);
+    let dense_x = sample(d_in, 9);
+    let mut dense_out = vec![0.0_f32; d_out];
+    const KERNEL_CALLS: usize = 32;
+    let time_level = |lvl: SimdLevel, dense_out: &mut Vec<f32>| {
+        for _ in 0..KERNEL_CALLS {
+            dense_into_at(lvl, &dense_x, &weights_t, &dense_bias, dense_out);
+        }
+        median_ns(iters, || {
+            for _ in 0..KERNEL_CALLS {
+                dense_into_at(
+                    black_box(lvl),
+                    black_box(&dense_x),
+                    &weights_t,
+                    &dense_bias,
+                    dense_out,
+                );
+            }
+            black_box(&mut *dense_out);
+        }) / KERNEL_CALLS as f64
+    };
+    let scalar_kernel_ns = time_level(SimdLevel::Scalar, &mut dense_out);
+    let simd_kernel_ns = time_level(level, &mut dense_out);
+    let simd_speedup = scalar_kernel_ns / simd_kernel_ns;
+    println!(
+        "infer/dense_{d_in}x{d_out}      {level} {simd_kernel_ns:.0} ns vs scalar \
+         {scalar_kernel_ns:.0} ns ({simd_speedup:.1}x)"
+    );
+    if level == SimdLevel::Scalar {
+        println!(
+            "infer/dense_{d_in}x{d_out}      NOTICE: host resolved to scalar \
+             (no AVX2/NEON or MINDFUL_SIMD=0); simd >= 2x gate skipped"
+        );
+    } else {
+        assert!(
+            simd_speedup >= 2.0,
+            "simd dense_into must be at least 2x the blocked-scalar oracle on a \
+             {level} host, got {simd_speedup:.2}x \
+             ({simd_kernel_ns:.0} ns vs {scalar_kernel_ns:.0} ns)"
+        );
+    }
+
+    // Int8 quantized end-to-end forward on the same model — a row, not
+    // a gate: the win tracks the host's integer throughput.
+    let quantized = QuantizedNetwork::from_network_default(&net).expect("the MLP is all-dense");
+    let mut qws = quantized.workspace();
+    for _ in 0..5 {
+        black_box(quantized.forward_into(&input, &mut qws).unwrap());
+    }
+    let int8_ns = median_ns(iters, || {
+        black_box(quantized.forward_into(black_box(&input), &mut qws).unwrap());
+    });
+    let int8_speedup = blocked_ns / int8_ns;
+    println!(
+        "infer/int8_mlp128     int8 {int8_ns:.0} ns vs f32 blocked {blocked_ns:.0} ns \
+         ({int8_speedup:.1}x)"
+    );
+
     let batch_iters = if quick() { 7 } else { 21 };
     let big = network(BATCH_CHANNELS);
     let inputs = batch(BATCH_CHANNELS as usize, BATCH_SAMPLES);
@@ -163,7 +233,16 @@ fn report_infer_acceptance(_c: &mut Criterion) {
          \"model\": \"mlp\",\n    \"channels\": {BASE_CHANNELS},\n    \
          \"naive_ns_per_forward\": {naive_ns:.0},\n    \
          \"blocked_ns_per_forward\": {blocked_ns:.0},\n    \
-         \"speedup\": {single_speedup:.3}\n  }},\n  \"batch\": {{\n    \
+         \"speedup\": {single_speedup:.3}\n  }},\n  \"simd\": {{\n    \
+         \"kernel\": \"dense_into\",\n    \"level\": \"{level}\",\n    \
+         \"inputs\": {d_in},\n    \"outputs\": {d_out},\n    \
+         \"scalar_ns_per_call\": {scalar_kernel_ns:.0},\n    \
+         \"simd_ns_per_call\": {simd_kernel_ns:.0},\n    \
+         \"speedup\": {simd_speedup:.3}\n  }},\n  \"int8\": {{\n    \
+         \"model\": \"mlp\",\n    \"channels\": {BASE_CHANNELS},\n    \
+         \"f32_ns_per_forward\": {blocked_ns:.0},\n    \
+         \"int8_ns_per_forward\": {int8_ns:.0},\n    \
+         \"speedup\": {int8_speedup:.3}\n  }},\n  \"batch\": {{\n    \
          \"model\": \"mlp\",\n    \"channels\": {BATCH_CHANNELS},\n    \
          \"samples\": {BATCH_SAMPLES},\n    \"threads\": {},\n    \
          \"serial_ns_per_batch\": {serial_ns:.0},\n    \

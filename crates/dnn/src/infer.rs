@@ -70,10 +70,21 @@ thread_local! {
 /// [`Workspace::empty`]. A workspace may be reused across networks;
 /// it grows to the largest activation width it has seen and never
 /// shrinks.
+///
+/// The same arena also backs the int8 path
+/// ([`crate::quant::QuantizedNetwork::forward_into`]): the quantized
+/// activations ping-pong between two `i8` arenas, accumulate into an
+/// `i32` arena, and dequantize at the boundary into the `f32` arena —
+/// all grown on first quantized use and reused thereafter.
 #[derive(Debug, Clone, Default)]
 pub struct Workspace {
     a: Vec<f32>,
     b: Vec<f32>,
+    /// Quantized activation ping-pong arenas (int8 path only).
+    pub(crate) qa: Vec<i8>,
+    pub(crate) qb: Vec<i8>,
+    /// Integer accumulator arena (int8 path only).
+    pub(crate) acc: Vec<i32>,
 }
 
 impl Workspace {
@@ -89,6 +100,7 @@ impl Workspace {
         Self {
             a: vec![0.0; width],
             b: vec![0.0; width],
+            ..Self::default()
         }
     }
 
@@ -105,6 +117,24 @@ impl Workspace {
             self.a.resize(width, 0.0);
             self.b.resize(width, 0.0);
         }
+    }
+
+    /// Grows the quantized arenas (and the `f32` output arena) to at
+    /// least `width` — the int8 twin of [`Workspace::ensure`].
+    pub(crate) fn ensure_quant(&mut self, width: usize) {
+        self.ensure(width);
+        if self.qa.len() < width {
+            self.qa.resize(width, 0);
+            self.qb.resize(width, 0);
+            self.acc.resize(width, 0);
+        }
+    }
+
+    /// Splits the workspace into the int8 path's working set: the two
+    /// `i8` ping-pong arenas, the `i32` accumulator arena, and the
+    /// `f32` arena the dequantized boundary output lands in.
+    pub(crate) fn quant_arenas(&mut self) -> (&mut [i8], &mut [i8], &mut [i32], &mut [f32]) {
+        (&mut self.qa, &mut self.qb, &mut self.acc, &mut self.a)
     }
 }
 
@@ -394,7 +424,7 @@ impl Network {
         workspace: &'w mut Workspace,
     ) -> &'w [f32] {
         workspace.ensure(self.max_width.max(input.len()));
-        let Workspace { a, b } = workspace;
+        let Workspace { a, b, .. } = workspace;
         let (mut cur, mut nxt) = (a, b);
         cur[..input.len()].copy_from_slice(input);
         let mut width = input.len();

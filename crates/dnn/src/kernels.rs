@@ -1,30 +1,42 @@
-//! Layer compute kernels: naive oracles and cache-blocked fast paths.
+//! Layer compute kernels: naive oracles, cache-blocked fast paths, and
+//! runtime-dispatched SIMD.
 //!
-//! Two implementations of every layer primitive live side by side:
+//! Three implementations of the hot layer primitives live side by side:
 //!
 //! * The **naive** kernels (`*_naive`) are the original textbook loops
 //!   — one dot product per dense output, per-MAC padding checks in the
 //!   convolution. They allocate their outputs and are kept as
 //!   property-test oracles and benchmark baselines, mirroring the
 //!   skyline/naive pairing of `mindful_core::explore`.
-//! * The **blocked** kernels (`*_into`) write into caller-provided
-//!   slices (no allocation), restructure the loops for locality and
-//!   vectorization, and are what [`crate::infer::Network`] runs:
-//!   - [`dense_into`] uses a *transposed* weight layout (`[input ×
-//!     output]`) with the accumulation loop unrolled four inputs at a
-//!     time, so the inner loop is a contiguous, register-tiled AXPY
-//!     over the output vector instead of a horizontal reduction — the
-//!     compiler vectorizes it, and each input value is loaded once per
-//!     four rows of weights.
-//!   - [`conv1d_into`] hoists the zero-padding bounds out of the MAC
-//!     loop entirely: for each kernel tap it computes the valid
+//! * The **blocked scalar** kernels (`*_scalar`) write into
+//!   caller-provided slices (no allocation) and restructure the loops
+//!   for locality and vectorization:
+//!   - [`dense_into_scalar`] uses a *transposed* weight layout
+//!     (`[input × output]`) with the accumulation loop unrolled four
+//!     inputs at a time, so the inner loop is a contiguous,
+//!     register-tiled AXPY over the output vector instead of a
+//!     horizontal reduction — the compiler vectorizes it, and each
+//!     input value is loaded once per four rows of weights.
+//!   - [`conv1d_into_scalar`] hoists the zero-padding bounds out of the
+//!     MAC loop entirely: for each kernel tap it computes the valid
 //!     destination/source overlap once and runs a check-free AXPY over
 //!     the interior, so edges cost a range intersection rather than a
 //!     branch per MAC.
+//! * The **SIMD** paths ([`crate::simd`]): explicit AVX2/NEON
+//!   implementations of the dense AXPY and the convolution interior,
+//!   selected once per process by cached runtime feature detection
+//!   (`MINDFUL_SIMD=0` forces scalar). They apply the same per-output
+//!   operation order as the blocked scalar kernels — no FMA — so their
+//!   results are **bit-identical**, not merely close
+//!   (`tests/simd_kernels.rs`).
 //!
-//! Both paths compute the same values up to floating-point summation
-//! order; the property tests in `tests/blocked_kernels.rs` pin the
-//! agreement to 1e-4 relative tolerance across randomized shapes.
+//! [`dense_into`] and [`conv1d_into`] are the dispatching entry points
+//! [`crate::infer::Network`] runs. Naive vs. blocked agreement is
+//! summation-order-limited; the property tests in
+//! `tests/blocked_kernels.rs` pin it to 1e-4 relative tolerance across
+//! randomized shapes.
+
+use crate::simd::{self, SimdLevel};
 
 /// Transposes a row-major dense weight matrix (`[output × input]`) into
 /// the `[input × output]` layout the blocked kernel consumes.
@@ -56,7 +68,9 @@ pub fn dense_naive(input: &[f32], weights: &[f32], bias: &[f32], outputs: usize)
         .collect()
 }
 
-/// Blocked dense layer: transposed weights, register-tiled AXPY.
+/// Dense layer entry point: dispatches to the SIMD path resolved at
+/// startup ([`crate::simd::level`]), falling back to the blocked
+/// scalar kernel. All paths produce bit-identical results.
 ///
 /// `weights_t` must be the [`transpose_dense`] layout; `out.len()`
 /// fixes the output width and `input.len()` the input width.
@@ -66,6 +80,43 @@ pub fn dense_naive(input: &[f32], weights: &[f32], bias: &[f32], outputs: usize)
 /// Panics if `weights_t.len() != input.len() * out.len()` or
 /// `bias.len() != out.len()`.
 pub fn dense_into(input: &[f32], weights_t: &[f32], bias: &[f32], out: &mut [f32]) {
+    dense_into_at(simd::level(), input, weights_t, bias, out);
+}
+
+/// [`dense_into`] at an explicit dispatch level — the hook the
+/// equivalence tests and benches use to pin SIMD against scalar on the
+/// same host.
+///
+/// # Panics
+///
+/// Same as [`dense_into`].
+pub fn dense_into_at(
+    level: SimdLevel,
+    input: &[f32],
+    weights_t: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(
+        weights_t.len(),
+        input.len() * out.len(),
+        "dense weight count"
+    );
+    assert_eq!(bias.len(), out.len(), "dense bias count");
+    if simd::dense_into_simd(level, input, weights_t, bias, out) {
+        return;
+    }
+    dense_into_scalar(input, weights_t, bias, out);
+}
+
+/// Blocked scalar dense layer: transposed weights, register-tiled AXPY.
+/// The always-compiled fallback and bit-level oracle for the SIMD
+/// paths.
+///
+/// # Panics
+///
+/// Same as [`dense_into`].
+pub fn dense_into_scalar(input: &[f32], weights_t: &[f32], bias: &[f32], out: &mut [f32]) {
     let inputs = input.len();
     let outputs = out.len();
     assert_eq!(weights_t.len(), inputs * outputs, "dense weight count");
@@ -129,8 +180,72 @@ pub fn conv1d_naive(
     out
 }
 
-/// Blocked same-padded 1-D convolution with the padding checks hoisted
-/// out of the MAC loop.
+/// Same-padded 1-D convolution entry point: dispatches the interior
+/// AXPY to the SIMD path resolved at startup, falling back to the
+/// blocked scalar loop. All paths produce bit-identical results.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with the given shape.
+#[allow(clippy::too_many_arguments)] // the shape parameters mirror conv1d_naive
+pub fn conv1d_into(
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    positions: usize,
+    out: &mut [f32],
+) {
+    conv1d_into_at(
+        simd::level(),
+        input,
+        weights,
+        bias,
+        in_channels,
+        out_channels,
+        kernel,
+        positions,
+        out,
+    );
+}
+
+/// [`conv1d_into`] at an explicit dispatch level — the hook the
+/// equivalence tests and benches use to pin SIMD against scalar on the
+/// same host.
+///
+/// # Panics
+///
+/// Same as [`conv1d_into`].
+#[allow(clippy::too_many_arguments)] // the shape parameters mirror conv1d_naive
+pub fn conv1d_into_at(
+    level: SimdLevel,
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    positions: usize,
+    out: &mut [f32],
+) {
+    conv1d_into_impl(
+        level,
+        input,
+        weights,
+        bias,
+        in_channels,
+        out_channels,
+        kernel,
+        positions,
+        out,
+    );
+}
+
+/// Blocked scalar same-padded 1-D convolution with the padding checks
+/// hoisted out of the MAC loop. The always-compiled fallback and
+/// bit-level oracle for the SIMD paths.
 ///
 /// For each `(output channel, input channel, tap)` triple the valid
 /// destination range is intersected once, then the tap is applied as a
@@ -139,9 +254,34 @@ pub fn conv1d_naive(
 ///
 /// # Panics
 ///
-/// Panics if the slice lengths disagree with the given shape.
+/// Same as [`conv1d_into`].
 #[allow(clippy::too_many_arguments)] // the shape parameters mirror conv1d_naive
-pub fn conv1d_into(
+pub fn conv1d_into_scalar(
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    positions: usize,
+    out: &mut [f32],
+) {
+    conv1d_into_impl(
+        SimdLevel::Scalar,
+        input,
+        weights,
+        bias,
+        in_channels,
+        out_channels,
+        kernel,
+        positions,
+        out,
+    );
+}
+
+#[allow(clippy::too_many_arguments)] // the shape parameters mirror conv1d_naive
+fn conv1d_into_impl(
+    level: SimdLevel,
     input: &[f32],
     weights: &[f32],
     bias: &[f32],
@@ -180,11 +320,76 @@ pub fn conv1d_into(
                 let src0 = usize::try_from(dst0 as isize + shift)
                     .expect("dst0 clamps the shift to a valid source start");
                 let len = dst1 - dst0;
-                for (o, &x) in orow[dst0..dst1].iter_mut().zip(&xrow[src0..src0 + len]) {
-                    *o += w * x;
+                let (dst, src) = (&mut orow[dst0..dst1], &xrow[src0..src0 + len]);
+                if !simd::axpy_simd(level, dst, src, w) {
+                    for (o, &x) in dst.iter_mut().zip(src) {
+                        *o += w * x;
+                    }
                 }
             }
         }
+    }
+}
+
+/// Widening i8 × i8 → i32 dot product at an explicit dispatch level.
+/// Integer arithmetic is exact, so every level returns the same value
+/// as [`dot_i8_scalar`].
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn dot_i8_at(level: SimdLevel, x: &[i8], w: &[i8]) -> i32 {
+    assert_eq!(x.len(), w.len(), "i8 dot operand lengths");
+    simd::dot_i8_simd(level, x, w).unwrap_or_else(|| dot_i8_scalar(x, w))
+}
+
+/// Scalar widening i8 dot product — the fallback and exactness oracle
+/// for the SIMD paths.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn dot_i8_scalar(x: &[i8], w: &[i8]) -> i32 {
+    assert_eq!(x.len(), w.len(), "i8 dot operand lengths");
+    x.iter()
+        .zip(w)
+        .map(|(&a, &b)| i32::from(a) * i32::from(b))
+        .sum()
+}
+
+/// Quantized dense matvec: row-major i8 weights, i32 bias and
+/// accumulators — `out[j] = bias[j] + Σ_k x[k] · w[j·n + k]` — the
+/// accelerator's 8-bit datapath shape. Dispatches each row's dot
+/// product to the SIMD path resolved at startup.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != x.len() * out.len()` or
+/// `bias.len() != out.len()`.
+pub fn matvec_i8_into(x: &[i8], weights: &[i8], bias: &[i32], out: &mut [i32]) {
+    matvec_i8_into_at(simd::level(), x, weights, bias, out);
+}
+
+/// [`matvec_i8_into`] at an explicit dispatch level.
+///
+/// # Panics
+///
+/// Same as [`matvec_i8_into`].
+pub fn matvec_i8_into_at(
+    level: SimdLevel,
+    x: &[i8],
+    weights: &[i8],
+    bias: &[i32],
+    out: &mut [i32],
+) {
+    let inputs = x.len();
+    assert_eq!(weights.len(), inputs * out.len(), "i8 weight count");
+    assert_eq!(bias.len(), out.len(), "i8 bias count");
+    for (j, (o, &b)) in out.iter_mut().zip(bias).enumerate() {
+        let row = &weights[j * inputs..(j + 1) * inputs];
+        *o = b + dot_i8_at(level, x, row);
     }
 }
 

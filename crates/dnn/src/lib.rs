@@ -29,6 +29,7 @@ pub mod kernels;
 pub mod models;
 pub mod partition;
 pub mod quant;
+pub mod simd;
 pub mod snn;
 
 pub use error::{DnnError, Result};
@@ -49,7 +50,8 @@ pub mod prelude {
         max_active_channels_partitioned, max_channels_partitioned, partition_gain,
         PartitionedPoint,
     };
-    pub use crate::quant::QuantizedDense;
+    pub use crate::quant::{Precision, QuantizedDense, QuantizedNetwork};
+    pub use crate::simd::SimdLevel;
     pub use crate::snn::{SnnConfig, SnnNetwork};
     pub use crate::{DnnError, Result};
 }

@@ -1,0 +1,235 @@
+//! Bit-level equivalence of the SIMD kernels against the blocked
+//! scalar oracle, across odd sizes (1, block-edge, block+1) and
+//! randomized shapes.
+//!
+//! The SIMD paths deliberately replicate the scalar kernels' exact
+//! association order (no FMA contraction), so these tests demand
+//! `to_bits()` equality, not a tolerance. On hosts without AVX2/NEON
+//! the detected level is `Scalar` and the tests reduce to
+//! scalar-vs-scalar identities (still valid, trivially).
+
+use mindful_dnn::kernels::{
+    conv1d_into_at, conv1d_into_scalar, dense_into_at, dense_into_scalar, dot_i8_at, dot_i8_scalar,
+    matvec_i8_into_at, transpose_dense,
+};
+use mindful_dnn::simd::{detected_level, SimdLevel};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random tensor from a seed (LCG; values in
+/// roughly ±0.5 so products stay well-conditioned).
+fn tensor(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(3);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 33) as f32 / (1_u64 << 31) as f32) - 0.5
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-random i8 tensor covering the full range.
+fn tensor_i8(len: usize, seed: u64) -> Vec<i8> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(7);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (state >> 40) as i8
+        })
+        .collect()
+}
+
+fn assert_bit_identical(simd: &[f32], scalar: &[f32], context: &str) {
+    assert_eq!(simd.len(), scalar.len(), "{context}: lengths differ");
+    for (i, (a, b)) in simd.iter().zip(scalar).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{context}: output {i} diverges at the bit level ({a} vs {b})"
+        );
+    }
+}
+
+fn dense_case(inputs: usize, outputs: usize, seed: u64) {
+    let level = detected_level();
+    let weights_t = tensor(inputs * outputs, seed);
+    let bias = tensor(outputs, seed ^ 1);
+    let x = tensor(inputs, seed ^ 2);
+    let mut scalar = vec![0.0_f32; outputs];
+    let mut simd = vec![42.0_f32; outputs];
+    dense_into_scalar(&x, &weights_t, &bias, &mut scalar);
+    dense_into_at(level, &x, &weights_t, &bias, &mut simd);
+    assert_bit_identical(
+        &simd,
+        &scalar,
+        &format!("dense {inputs}x{outputs} @{level}"),
+    );
+}
+
+fn conv_case(length: usize, in_ch: usize, out_ch: usize, kernel: usize, seed: u64) {
+    let level = detected_level();
+    let x = tensor(in_ch * length, seed);
+    let weights = tensor(out_ch * in_ch * kernel, seed ^ 1);
+    let bias = tensor(out_ch, seed ^ 2);
+    let mut scalar = vec![0.0_f32; out_ch * length];
+    let mut simd = vec![42.0_f32; out_ch * length];
+    conv1d_into_scalar(
+        &x,
+        &weights,
+        &bias,
+        in_ch,
+        out_ch,
+        kernel,
+        length,
+        &mut scalar,
+    );
+    conv1d_into_at(
+        level, &x, &weights, &bias, in_ch, out_ch, kernel, length, &mut simd,
+    );
+    assert_bit_identical(
+        &simd,
+        &scalar,
+        &format!("conv L={length} {in_ch}->{out_ch} k={kernel} @{level}"),
+    );
+}
+
+/// The scalar dense kernel unrolls four input rows per pass and the
+/// AVX2/NEON lanes are 8/4 outputs wide — exercise every edge around
+/// those blocks, including size 1, the exact block edge, and block+1.
+#[test]
+fn dense_simd_is_bit_identical_at_block_edges() {
+    for &inputs in &[1_usize, 2, 3, 4, 5, 7, 8, 9, 63, 64, 65] {
+        for &outputs in &[1_usize, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 40] {
+            dense_case(inputs, outputs, (inputs * 131 + outputs) as u64);
+        }
+    }
+    // Shapes past the tiled/streaming crossover (16 384 weights on
+    // x86_64) so both large-matrix variants are pinned too.
+    for &(inputs, outputs) in &[(130_usize, 129_usize), (257, 65), (100, 200)] {
+        dense_case(inputs, outputs, (inputs * 7 + outputs) as u64);
+    }
+}
+
+#[test]
+fn conv_simd_is_bit_identical_at_block_edges() {
+    for &length in &[1_usize, 2, 7, 8, 9, 16, 17] {
+        for &(in_ch, out_ch) in &[(1_usize, 1_usize), (2, 3), (3, 2)] {
+            for &kernel in &[1_usize, 3, 5] {
+                conv_case(length, in_ch, out_ch, kernel, (length * 7 + kernel) as u64);
+            }
+        }
+    }
+}
+
+/// Integer arithmetic is exact, so the i8 kernels must agree with the
+/// scalar oracle everywhere — including the worst-case magnitude
+/// (±127 · ±127 accumulated) which the widening scheme cannot saturate.
+#[test]
+fn i8_dot_is_exact_at_block_edges_and_extremes() {
+    let level = detected_level();
+    for &len in &[1_usize, 2, 15, 16, 17, 31, 32, 33, 64, 127, 128, 129] {
+        let x = tensor_i8(len, len as u64);
+        let w = tensor_i8(len, len as u64 ^ 0xFF);
+        assert_eq!(
+            dot_i8_at(level, &x, &w),
+            dot_i8_scalar(&x, &w),
+            "dot len {len} @{level}"
+        );
+        let extreme = vec![-127_i8; len];
+        assert_eq!(
+            dot_i8_at(level, &extreme, &extreme),
+            len as i32 * 127 * 127,
+            "extreme dot len {len}"
+        );
+    }
+}
+
+#[test]
+fn i8_matvec_matches_the_scalar_path() {
+    let level = detected_level();
+    for &(inputs, outputs) in &[(1_usize, 1_usize), (5, 3), (64, 40), (65, 17), (128, 128)] {
+        let x = tensor_i8(inputs, 11);
+        let weights = tensor_i8(inputs * outputs, 13);
+        let bias: Vec<i32> = (0..outputs as i32).map(|i| i * 1000 - 500).collect();
+        let mut scalar = vec![0_i32; outputs];
+        let mut simd = vec![-1_i32; outputs];
+        matvec_i8_into_at(SimdLevel::Scalar, &x, &weights, &bias, &mut scalar);
+        matvec_i8_into_at(level, &x, &weights, &bias, &mut simd);
+        assert_eq!(simd, scalar, "matvec {inputs}x{outputs} @{level}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn dense_simd_is_bit_identical_for_any_shape(
+        inputs in 1_usize..96,
+        outputs in 1_usize..96,
+        seed in 0_u64..1_000,
+    ) {
+        dense_case(inputs, outputs, seed);
+    }
+
+    #[test]
+    fn conv_simd_is_bit_identical_for_any_shape(
+        length in 1_usize..24,
+        in_ch in 1_usize..5,
+        out_ch in 1_usize..5,
+        kernel in prop::sample::select(vec![1_usize, 3, 5, 7]),
+        seed in 0_u64..1_000,
+    ) {
+        conv_case(length, in_ch, out_ch, kernel, seed);
+    }
+
+    #[test]
+    fn i8_dot_is_exact_for_any_length(len in 1_usize..300, seed in 0_u64..1_000) {
+        let x = tensor_i8(len, seed);
+        let w = tensor_i8(len, seed ^ 0xABCD);
+        prop_assert_eq!(dot_i8_at(detected_level(), &x, &w), dot_i8_scalar(&x, &w));
+    }
+}
+
+/// Rough timing probe (not a CI gate — the bench owns that). Run with
+/// `cargo test --release -p mindful-dnn --test simd_kernels -- --ignored --nocapture`.
+#[test]
+#[ignore = "manual perf probe; the infer bench is the real gate"]
+fn probe_simd_speedup() {
+    let level = detected_level();
+    for &(inputs, outputs) in &[
+        (32_usize, 32_usize),
+        (64, 64),
+        (128, 40),
+        (128, 32),
+        (192, 32),
+        (256, 16),
+        (256, 32),
+        (256, 48),
+        (128, 128),
+        (256, 256),
+        (512, 512),
+    ] {
+        let weights = tensor(inputs * outputs, 1);
+        let weights_t = transpose_dense(&weights, inputs, outputs);
+        let bias = tensor(outputs, 2);
+        let x = tensor(inputs, 3);
+        let mut out = vec![0.0_f32; outputs];
+        let reps = 20_000;
+        let mut time = |lvl: SimdLevel| {
+            let start = std::time::Instant::now();
+            for _ in 0..reps {
+                dense_into_at(lvl, &x, &weights_t, &bias, &mut out);
+                std::hint::black_box(&mut out);
+            }
+            start.elapsed().as_nanos() / reps
+        };
+        time(SimdLevel::Scalar); // warm
+        let scalar_ns = time(SimdLevel::Scalar);
+        let simd_ns = time(level);
+        println!(
+            "dense {inputs}x{outputs}: scalar {scalar_ns} ns, {level} {simd_ns} ns, speedup {:.2}x",
+            scalar_ns as f64 / simd_ns as f64
+        );
+    }
+}

@@ -82,6 +82,48 @@ fn forward_into_is_allocation_free_after_warmup() {
     }
 }
 
+/// The int8 datapath holds the same contract: quantize-at-ingress,
+/// integer layers, and the dequantized boundary all run inside the
+/// pre-grown workspace arenas.
+#[test]
+fn quantized_forward_into_is_allocation_free_after_warmup() {
+    let _guard = MEASURE.lock().unwrap();
+    let arch = ModelFamily::Mlp.architecture(BASE_CHANNELS).unwrap();
+    let net = Network::with_seeded_weights(arch, 7);
+    let q = mindful_dnn::quant::QuantizedNetwork::from_network_default(&net).unwrap();
+    let width = net.architecture().input_values() as usize;
+    let input: Vec<f32> = (0..width).map(|i| (i as f32 * 0.013).sin()).collect();
+
+    let mut ws = q.workspace();
+    let expected = q.forward_into(&input, &mut ws).unwrap().to_vec();
+
+    let allocs = allocations_during(|| {
+        for _ in 0..32 {
+            let result = q.forward_into(&input, &mut ws).unwrap();
+            assert_eq!(result.len(), expected.len());
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "int8 forward_into must not allocate after warm-up"
+    );
+
+    // The f32 workspace grows into the int8 arenas on demand too: a
+    // plain f32 workspace warms up in one pass, then stays silent.
+    let mut cold = net.workspace();
+    let grow = allocations_during(|| {
+        q.forward_into(&input, &mut cold).unwrap();
+    });
+    assert!(
+        grow > 0,
+        "quant arenas grow on first use of an f32 workspace"
+    );
+    let warm = allocations_during(|| {
+        q.forward_into(&input, &mut cold).unwrap();
+    });
+    assert_eq!(warm, 0, "the grown quant arenas are reused");
+}
+
 #[test]
 fn cold_workspace_allocates_only_during_growth() {
     let _guard = MEASURE.lock().unwrap();

@@ -39,6 +39,7 @@ use mindful_dnn::integration::IntegrationConfig;
 use mindful_dnn::models::{
     ModelFamily, APPLICATION_RATE, BASE_CHANNELS, CNN_WINDOW, OUTPUT_LABELS,
 };
+use mindful_dnn::quant::{Precision, QuantizedNetwork};
 use mindful_pipeline::prelude::*;
 use mindful_plot::{AsciiTable, Csv};
 use mindful_rf::fault::{FaultConfig, FaultPlan};
@@ -87,6 +88,9 @@ impl LatencyBreakdown {
 pub struct MeasuredThroughput {
     /// Model family.
     pub family: ModelFamily,
+    /// Numeric precision of the measured engine (`f32` runs the SIMD
+    /// dense kernels; `int8` the quantized datapath).
+    pub precision: Precision,
     /// Samples in the measured batch.
     pub batch: usize,
     /// Worker threads used by `forward_batch`.
@@ -262,11 +266,40 @@ fn measure_throughput() -> Result<Vec<MeasuredThroughput>> {
                 .all(|(x, y)| net.forward(x).map(|z| z == *y).unwrap_or(false));
         measured.push(MeasuredThroughput {
             family,
+            precision: Precision::F32,
             batch: BATCH,
             threads: threads.get(),
             per_sample: TimeSpan::from_seconds(elapsed.as_secs_f64() / BATCH as f64),
             consistent,
             layer_spans,
+        });
+
+        // The int8 twin, for the families the quantizer supports
+        // (all-dense). Integer arithmetic is deterministic, so batched
+        // must equal per-sample exactly.
+        let Ok(quantized) = QuantizedNetwork::from_network_default(&net) else {
+            continue;
+        };
+        let q_outputs = quantized.forward_batch(&frames, threads)?;
+        let start = Instant::now();
+        let q_timed = quantized.forward_batch(&frames, threads)?;
+        let elapsed = start.elapsed();
+        clear_spans();
+        let mut ws = quantized.workspace();
+        let q_single: Vec<Vec<f32>> = frames
+            .iter()
+            .map(|x| quantized.forward_into(x, &mut ws).map(<[f32]>::to_vec))
+            .collect::<mindful_dnn::Result<_>>()?;
+        let mut spans = Vec::new();
+        let overwritten = drain_spans(&mut spans);
+        measured.push(MeasuredThroughput {
+            family,
+            precision: Precision::Int8,
+            batch: BATCH,
+            threads: threads.get(),
+            per_sample: TimeSpan::from_seconds(elapsed.as_secs_f64() / BATCH as f64),
+            consistent: q_timed == q_outputs && q_single == q_outputs,
+            layer_spans: spans.len() as u64 + overwritten,
         });
     }
     Ok(measured)
@@ -410,6 +443,7 @@ pub fn render(study: &Realtime, dir: &Path) -> Result<Artifacts> {
 
     let mut measured_csv = Csv::new(&[
         "model",
+        "precision",
         "batch",
         "threads",
         "us_per_sample",
@@ -424,6 +458,7 @@ pub fn render(study: &Realtime, dir: &Path) -> Result<Artifacts> {
     for m in &study.measured {
         measured_csv.push(&[
             m.family.to_string(),
+            m.precision.to_string(),
             m.batch.to_string(),
             m.threads.to_string(),
             format!("{:.1}", m.per_sample.microseconds()),
@@ -432,8 +467,9 @@ pub fn render(study: &Realtime, dir: &Path) -> Result<Artifacts> {
             m.layer_spans.to_string(),
         ]);
         artifacts.report(format!(
-            "  {}: {:.1} us/sample on {} thread(s) ({:.1}x the {:.1} kHz application rate)",
+            "  {} ({}): {:.1} us/sample on {} thread(s) ({:.1}x the {:.1} kHz application rate)",
             m.family,
+            m.precision,
             m.per_sample.microseconds(),
             m.threads,
             m.samples_per_second() / APPLICATION_RATE.hertz(),
@@ -599,16 +635,25 @@ mod tests {
     #[test]
     fn measured_throughput_runs_both_families_consistently() {
         let study = study();
-        assert_eq!(study.measured.len(), ModelFamily::ALL.len());
+        // One f32 row per family, plus an int8 row for each all-dense
+        // family the quantizer supports (the MLP).
+        assert_eq!(study.measured.len(), ModelFamily::ALL.len() + 1);
         for m in &study.measured {
             assert!(m.per_sample.seconds() > 0.0, "{}", m.family);
             assert!(m.threads >= 1);
             assert!(
                 m.consistent,
-                "{}: batched outputs must equal per-sample forward",
-                m.family
+                "{} ({}): batched outputs must equal per-sample forward",
+                m.family, m.precision
             );
         }
+        assert!(
+            study
+                .measured
+                .iter()
+                .any(|m| m.family == ModelFamily::Mlp && m.precision == Precision::Int8),
+            "the MLP must carry an int8 row"
+        );
     }
 
     #[test]

@@ -4,7 +4,9 @@
 use std::path::Path;
 
 use mindful_core::budget::SAFE_POWER_DENSITY;
-use mindful_dnn::models::ModelFamily;
+use mindful_dnn::infer::Network;
+use mindful_dnn::models::{ModelFamily, BASE_CHANNELS};
+use mindful_dnn::quant::QuantizedNetwork;
 use mindful_plot::{AsciiTable, Csv};
 use mindful_thermal::{FluxSplit, ImplantThermalModel, TissueProperties};
 
@@ -285,6 +287,53 @@ pub fn generate() -> Result<Scoreboard> {
         holds: secure.ledger_balanced && secure.clean_identical,
     });
 
+    // Int8 accuracy gate: the quantized speech decoder must preserve
+    // the f32 decoder's decisions. Tolerance, stated: decoded-label
+    // (argmax) agreement >= 95% over the synthetic workload, and the
+    // worst per-output error <= 5% of the frame's output magnitude.
+    let arch = ModelFamily::Mlp.architecture(BASE_CHANNELS)?;
+    let net = Network::with_seeded_weights(arch, 7);
+    let quantized = QuantizedNetwork::from_network_default(&net)?;
+    let width = net.architecture().input_values() as usize;
+    let mut ws = quantized.workspace();
+    const FRAMES: usize = 64;
+    let mut agree = 0_usize;
+    let mut worst_rel = 0.0_f32;
+    let argmax = |v: &[f32]| {
+        v.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+    };
+    for s in 0..FRAMES {
+        let x: Vec<f32> = (0..width)
+            .map(|i| ((i + 31 * s) as f32 * 0.013).sin())
+            .collect();
+        let f32_out = net.forward(&x)?;
+        let int8_out = quantized.forward_into(&x, &mut ws)?;
+        if argmax(&f32_out) == argmax(int8_out) {
+            agree += 1;
+        }
+        let mag = f32_out.iter().fold(0.0_f32, |m, v| m.max(v.abs()));
+        for (a, b) in int8_out.iter().zip(&f32_out) {
+            worst_rel = worst_rel.max((a - b).abs() / mag.max(1e-6));
+        }
+    }
+    rows.push(ScoreRow {
+        source: "Int8",
+        claim: "quantized MLP decode agreement vs f32 (argmax)",
+        paper: ">= 95%".into(),
+        measured: format!("{agree}/{FRAMES} frames"),
+        holds: agree as f64 >= 0.95 * FRAMES as f64,
+    });
+    rows.push(ScoreRow {
+        source: "Int8",
+        claim: "worst int8 output error vs f32 output magnitude",
+        paper: "<= 5%".into(),
+        measured: format!("{:.2}%", worst_rel * 100.0),
+        holds: worst_rel <= 0.05,
+    });
+
     // Observability cross-check: the metrics registry scraped from the
     // sweep engine must agree exactly with the result it returned.
     let observed_points = sweep.snapshot.counter("sweep.points").unwrap_or(0);
@@ -351,6 +400,10 @@ mod tests {
         assert!(
             board.rows.iter().filter(|r| r.source == "Secure").count() >= 2,
             "the secure-link claims are on the board"
+        );
+        assert!(
+            board.rows.iter().filter(|r| r.source == "Int8").count() >= 2,
+            "the quantized-accuracy claims are on the board"
         );
         for row in &board.rows {
             assert!(

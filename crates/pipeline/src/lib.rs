@@ -45,6 +45,7 @@ pub use fault::{
     ConcealStage, DegradePolicy, FaultStage, FaultTelemetry, LinkStage, VALUE_SATURATION,
 };
 pub use frame::{Frame, FrameBuf, FrameKind, StageOutput};
+pub use mindful_dnn::quant::Precision;
 pub use secure::{FirewallConfig, FirewallStage, SecureTelemetry, COHERENCE_SCALE};
 pub use stage::{Pipeline, Stage, StageTelemetry};
 pub use stages::{
@@ -63,7 +64,7 @@ pub mod prelude {
     };
     pub use crate::stream::{run_streams, StreamReport, StreamSet};
     pub use crate::{
-        Frame, FrameBuf, FrameKind, Pipeline, PipelineError, Result, Stage, StageOutput,
+        Frame, FrameBuf, FrameKind, Pipeline, PipelineError, Precision, Result, Stage, StageOutput,
         StageTelemetry,
     };
 }

@@ -12,6 +12,7 @@ use mindful_decode::kalman::KalmanDecoder;
 use mindful_decode::spike::SpikeDetector;
 use mindful_decode::wiener::WienerDecoder;
 use mindful_dnn::infer::{Network, Workspace};
+use mindful_dnn::quant::{Precision, QuantizedNetwork};
 use mindful_rf::packet::packetize_into;
 use mindful_signal::adc::Adc;
 use mindful_signal::interface::NeuralInterface;
@@ -335,6 +336,9 @@ impl Stage for WienerStage {
 /// keeps its own mutable [`Workspace`].
 pub struct DnnStage {
     network: Arc<Network>,
+    /// Present when the stage runs at [`Precision::Int8`]; the f32
+    /// network stays attached as the calibration source of truth.
+    quantized: Option<Arc<QuantizedNetwork>>,
     workspace: Workspace,
     /// Codes-to-normalized-f32 conversion scratch.
     scratch: Vec<f32>,
@@ -363,6 +367,50 @@ impl DnnStage {
     ///
     /// Same as [`DnnStage::new`].
     pub fn shared(network: Arc<Network>, sample_bits: u8) -> Result<Self> {
+        Self::with_precision(network, sample_bits, Precision::F32)
+    }
+
+    /// Like [`DnnStage::shared`], with an explicit numeric precision.
+    /// [`Precision::Int8`] quantizes the network once at construction
+    /// (default ±1 full-scale calibration — exactly the code domain the
+    /// stage normalizes into) and runs every frame through the integer
+    /// datapath.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DnnStage::new`], plus quantization errors (e.g. a
+    /// non-dense architecture) at `Int8`.
+    pub fn with_precision(
+        network: Arc<Network>,
+        sample_bits: u8,
+        precision: Precision,
+    ) -> Result<Self> {
+        let quantized = match precision {
+            Precision::F32 => None,
+            Precision::Int8 => Some(Arc::new(QuantizedNetwork::from_network_default(&network)?)),
+        };
+        Self::build(network, quantized, sample_bits)
+    }
+
+    /// Shares one already-quantized model across streams — the int8
+    /// twin of [`DnnStage::shared`], skipping per-stream recalibration.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DnnStage::new`].
+    pub fn shared_quantized(
+        network: Arc<Network>,
+        quantized: Arc<QuantizedNetwork>,
+        sample_bits: u8,
+    ) -> Result<Self> {
+        Self::build(network, Some(quantized), sample_bits)
+    }
+
+    fn build(
+        network: Arc<Network>,
+        quantized: Option<Arc<QuantizedNetwork>>,
+        sample_bits: u8,
+    ) -> Result<Self> {
         if sample_bits == 0 || sample_bits > 16 {
             return Err(mindful_rf::RfError::InvalidParameter {
                 name: "sample bits",
@@ -370,13 +418,27 @@ impl DnnStage {
             }
             .into());
         }
-        let workspace = network.workspace();
+        let workspace = match &quantized {
+            Some(q) => q.workspace(),
+            None => network.workspace(),
+        };
         Ok(Self {
             network,
+            quantized,
             workspace,
             scratch: Vec::new(),
             half_scale: f32::from(1u16 << (sample_bits - 1)),
         })
+    }
+
+    /// The numeric precision this stage runs at.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        if self.quantized.is_some() {
+            Precision::Int8
+        } else {
+            Precision::F32
+        }
     }
 }
 
@@ -401,7 +463,10 @@ impl Stage for DnnStage {
                 })
             }
         };
-        let labels = self.network.forward_into(frame, &mut self.workspace)?;
+        let labels = match &self.quantized {
+            Some(q) => q.forward_into(frame, &mut self.workspace)?,
+            None => self.network.forward_into(frame, &mut self.workspace)?,
+        };
         out.begin_activations().extend_from_slice(labels);
         Ok(StageOutput::Emitted)
     }
@@ -608,5 +673,40 @@ mod tests {
             .unwrap();
         let net = Network::with_seeded_weights(arch, 7);
         assert!(DnnStage::new(net, 0).is_err());
+    }
+
+    #[test]
+    fn int8_dnn_stage_tracks_the_f32_stage() {
+        let arch = mindful_dnn::models::ModelFamily::Mlp
+            .architecture(128)
+            .unwrap();
+        let net = Arc::new(Network::with_seeded_weights(arch, 7));
+        let mut f32_stage = DnnStage::shared(Arc::clone(&net), 10).unwrap();
+        let mut int8_stage =
+            DnnStage::with_precision(Arc::clone(&net), 10, Precision::Int8).unwrap();
+        assert_eq!(f32_stage.precision(), Precision::F32);
+        assert_eq!(int8_stage.precision(), Precision::Int8);
+
+        let codes: Vec<u16> = (0..128).map(|i| 512 + ((i * 37) % 512) as u16).collect();
+        let (mut out_f32, mut out_int8) = (FrameBuf::default(), FrameBuf::default());
+        f32_stage
+            .process(&Frame::Codes(&codes), &mut out_f32)
+            .unwrap();
+        int8_stage
+            .process(&Frame::Codes(&codes), &mut out_int8)
+            .unwrap();
+        let (Frame::Activations(a), Frame::Activations(b)) =
+            (out_f32.as_frame(), out_int8.as_frame())
+        else {
+            panic!("dnn stages emit activations");
+        };
+        assert_eq!(a.len(), b.len());
+        let mag = a.iter().fold(0.0_f32, |m, v| m.max(v.abs()));
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (x - y).abs() <= 0.05 * mag.max(0.1),
+                "int8 stage diverges: {x} vs {y}"
+            );
+        }
     }
 }

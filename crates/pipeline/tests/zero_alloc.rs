@@ -302,6 +302,37 @@ fn warm_dnn_chain_is_allocation_free() {
     assert_eq!(allocs, 0, "a warm sense→dnn chain must not allocate");
 }
 
+/// The quantized twin: the int8 datapath reuses the same workspace
+/// arenas (i8 ping-pong + i32 accumulators grown once at
+/// construction), so a warm Int8 chain is just as allocation-free.
+#[test]
+fn warm_int8_dnn_chain_is_allocation_free() {
+    let _guard = MEASURE.lock().unwrap();
+    let ni = NeuralInterface::new(32, 600, 10, 5).unwrap();
+    let channels = ni.channels() as u64;
+    let network = Network::with_seeded_weights(ModelFamily::Mlp.architecture(channels).unwrap(), 7);
+    let stage = DnnStage::with_precision(
+        std::sync::Arc::new(network),
+        10,
+        mindful_pipeline::Precision::Int8,
+    )
+    .unwrap();
+    assert_eq!(stage.precision(), mindful_pipeline::Precision::Int8);
+    let mut pipeline = Pipeline::new()
+        .with_stage(SenseStage::from_interface(ni, IntentSchedule::FigureEight))
+        .with_stage(stage);
+
+    for _ in 0..2 {
+        pipeline.step().unwrap().expect("dnn emits every frame");
+    }
+    let allocs = allocations_during(|| {
+        for _ in 0..32 {
+            pipeline.step().unwrap().expect("dnn emits every frame");
+        }
+    });
+    assert_eq!(allocs, 0, "a warm int8 sense→dnn chain must not allocate");
+}
+
 /// The instrumented computation-centric chain: per-stage metrics *and*
 /// the inference engine's per-layer span tracing (ring-buffer writes on
 /// this thread) — still allocation-free per warm step.

@@ -586,7 +586,7 @@ const ADVERSARY_HISTORY: usize = 32;
 /// An active adversary over a *sealed* (authenticated) packet stream.
 ///
 /// The adversary watches the channel like a man-in-the-middle: every
-/// frame delivered intact is remembered (up to [`ADVERSARY_HISTORY`]
+/// frame delivered intact is remembered (up to `ADVERSARY_HISTORY`
 /// frames), and per pushed packet it may inject one crafted frame. Each
 /// attack is built so its rejection class is knowable in advance, which
 /// is what lets the soak equate [`AttackCounters`] with the receiver's
