@@ -34,7 +34,7 @@ const RATES: [f64; 3] = [0.0, 0.02, 0.10];
 const SEED: u64 = 0xFA_17;
 
 fn quick() -> bool {
-    mindful_core::env::flag("MINDFUL_BENCH_QUICK", false)
+    mindful_core::env::bench_quick()
 }
 
 fn frames() -> usize {

@@ -28,7 +28,7 @@ const BATCH_CHANNELS: u64 = 256;
 const BATCH_SAMPLES: usize = 48;
 
 fn quick() -> bool {
-    mindful_core::env::flag("MINDFUL_BENCH_QUICK", false)
+    mindful_core::env::bench_quick()
 }
 
 fn network(channels: u64) -> Network {

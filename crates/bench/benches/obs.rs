@@ -33,7 +33,7 @@ const STEPS: usize = 64;
 const MAX_OVERHEAD: f64 = 1.05;
 
 fn quick() -> bool {
-    mindful_core::env::flag("MINDFUL_BENCH_QUICK", false)
+    mindful_core::env::bench_quick()
 }
 
 /// Calibrates a detector and Kalman decoder from a recorded trajectory,

@@ -32,7 +32,7 @@ const STEPS: usize = 32;
 const REPLAY: usize = 8;
 
 fn quick() -> bool {
-    mindful_core::env::flag("MINDFUL_BENCH_QUICK", false)
+    mindful_core::env::bench_quick()
 }
 
 /// Pool workers for the serving comparison: the machine's parallelism,

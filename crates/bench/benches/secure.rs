@@ -40,7 +40,7 @@ const ATTACK_RATE: f64 = 0.25;
 const MAX_CLEAN_OVERHEAD: f64 = 1.09;
 
 fn quick() -> bool {
-    mindful_core::env::flag("MINDFUL_BENCH_QUICK", false)
+    mindful_core::env::bench_quick()
 }
 
 fn frames() -> usize {

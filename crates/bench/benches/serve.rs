@@ -1,0 +1,254 @@
+//! Benchmarks for the fleet serving layer: a warm [`Fleet`] of
+//! inference sessions multiplexed over a multi-worker scheduler
+//! against the sum of the same sessions served sequentially (the same
+//! fleet code pinned to one worker).
+//!
+//! `report_serve_acceptance` is the acceptance gate for the serving
+//! tentpole: on the same workload (SESSIONS × STEPS frames through one
+//! shared 128-channel MLP), the multi-worker fleet epoch must be at
+//! least as fast as the sum-of-sequential baseline whenever the host
+//! actually has a second core to fan onto; on a single-core host the
+//! gate degrades to a bounded-overhead check (the fleet's scheduling
+//! machinery may cost at most 15% over the serial drive). The two
+//! paths are timed in interleaved pairs so frequency drift cancels out
+//! of the medians. The headline rows — `sessions_per_sec` and the p99
+//! per-step latency scraped from the fleet's own `serve.step_ns`
+//! registry histogram — land in `results/bench/BENCH_serve.json`. Set
+//! `MINDFUL_BENCH_QUICK=1` (as CI does) to shrink iteration counts.
+
+use std::hint::black_box;
+use std::num::{NonZeroU32, NonZeroUsize};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mindful_core::obs::Registry;
+use mindful_core::pool::{default_threads, Scheduler};
+use mindful_dnn::infer::Network;
+use mindful_dnn::models::{ModelFamily, BASE_CHANNELS};
+use mindful_pipeline::prelude::*;
+
+/// Concurrent implant sessions (one pipeline each).
+const SESSIONS: usize = 8;
+/// Frames each session decodes per epoch.
+const STEPS: u32 = 32;
+/// Distinct synthetic frames replayed cyclically per session.
+const REPLAY: usize = 8;
+
+fn quick() -> bool {
+    mindful_core::env::bench_quick()
+}
+
+/// Scheduler workers for the fleet under test: the machine's
+/// parallelism, but at least two — the acceptance regime is a fleet
+/// that actually fans sessions over workers.
+fn fleet_workers() -> NonZeroUsize {
+    NonZeroUsize::new(default_threads().get().max(2)).expect("non-zero")
+}
+
+fn network() -> Network {
+    let arch = ModelFamily::Mlp
+        .architecture(BASE_CHANNELS)
+        .expect("MLP builds at the base channel count");
+    Network::with_seeded_weights(arch, 7)
+}
+
+fn frames(width: usize) -> Vec<Vec<f32>> {
+    (0..REPLAY)
+        .map(|s| {
+            (0..width)
+                .map(|i| (((i + 31 * s) % 23) as f32 - 11.0) / 11.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn config() -> FleetConfig {
+    FleetConfig {
+        capacity: NonZeroUsize::new(SESSIONS).expect("non-zero"),
+        // One epoch serves every session's whole demand: the bench
+        // measures throughput, the soak owns the fairness contracts.
+        quantum: NonZeroU32::new(STEPS).expect("non-zero"),
+        max_backlog: STEPS,
+    }
+}
+
+/// Builds the benchmarked fleet: SESSIONS replay→DNN sessions sharing
+/// one weight set, observed so the per-step latency histogram fills.
+fn build_fleet<'a>(
+    scheduler: &'a Scheduler,
+    registry: &'a Registry,
+    net: &Arc<Network>,
+    replay: &[Vec<f32>],
+    prefix: &str,
+) -> (Fleet<'a>, Vec<SessionId>) {
+    let mut fleet = Fleet::observed(scheduler, config(), registry, prefix);
+    let ids = (0..SESSIONS)
+        .map(|_| {
+            fleet
+                .admit(SessionSpec::new(
+                    Pipeline::new()
+                        .with_stage(ReplaySource::new(replay.to_vec()).expect("frames"))
+                        .with_stage(DnnStage::shared(Arc::clone(net), 10).expect("dnn stage")),
+                ))
+                .expect("admission under capacity")
+        })
+        .collect();
+    (fleet, ids)
+}
+
+/// One serving round: queue STEPS of demand per session, drive one
+/// epoch. Returns the frames that cleared the chains.
+fn run_epoch(fleet: &mut Fleet<'_>, ids: &[SessionId]) -> u64 {
+    for &id in ids {
+        assert_eq!(fleet.request(id, STEPS).expect("live session"), STEPS);
+    }
+    let report = fleet.drive_epoch().expect("epoch succeeds");
+    assert_eq!(report.starved, 0);
+    report.emitted
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let net = Arc::new(network());
+    let replay = frames(net.architecture().input_values() as usize);
+    let fleet_sched = Scheduler::new(fleet_workers());
+    let serial_sched = Scheduler::new(NonZeroUsize::MIN);
+    let registry = Registry::new();
+    let (mut fleet, ids) = build_fleet(&fleet_sched, &registry, &net, &replay, "serve_bench");
+    let (mut serial, serial_ids) =
+        build_fleet(&serial_sched, &registry, &net, &replay, "serial_bench");
+    black_box(run_epoch(&mut fleet, &ids));
+    black_box(run_epoch(&mut serial, &serial_ids));
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.bench_function("fleet_mlp128x8x32", |b| {
+        b.iter(|| black_box(run_epoch(&mut fleet, &ids)))
+    });
+    group.bench_function("sequential_mlp128x8x32", |b| {
+        b.iter(|| black_box(run_epoch(&mut serial, &serial_ids)))
+    });
+    group.finish();
+}
+
+/// Interleaved medians: run the two closures in alternating pairs so
+/// clock-frequency drift hits both equally.
+fn paired_median_ns(iters: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    let mut ta: Vec<f64> = Vec::with_capacity(iters);
+    let mut tb: Vec<f64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        a();
+        ta.push(start.elapsed().as_secs_f64() * 1e9);
+        let start = Instant::now();
+        b();
+        tb.push(start.elapsed().as_secs_f64() * 1e9);
+    }
+    ta.sort_by(f64::total_cmp);
+    tb.sort_by(f64::total_cmp);
+    (ta[ta.len() / 2], tb[tb.len() / 2])
+}
+
+/// One-shot acceptance measurement: the multi-worker fleet epoch must
+/// be at least as fast as serving the same sessions sequentially, and
+/// the headline serving rows come from the fleet's own registry.
+fn report_serve_acceptance(_c: &mut Criterion) {
+    let iters = if quick() { 15 } else { 41 };
+    let net = Arc::new(network());
+    let replay = frames(net.architecture().input_values() as usize);
+    let workers = fleet_workers();
+    let fleet_sched = Scheduler::new(workers);
+    let serial_sched = Scheduler::new(NonZeroUsize::MIN);
+    let registry = Registry::new();
+    let (mut fleet, ids) = build_fleet(&fleet_sched, &registry, &net, &replay, "serve");
+    let (mut serial, serial_ids) = build_fleet(&serial_sched, &registry, &net, &replay, "serial");
+    let per_epoch = SESSIONS as u64 * u64::from(STEPS);
+
+    // Warm both paths (session buffers, DNN workspaces, pool threads).
+    assert_eq!(run_epoch(&mut fleet, &ids), per_epoch);
+    assert_eq!(run_epoch(&mut serial, &serial_ids), per_epoch);
+
+    let (fleet_ns, sequential_ns) = paired_median_ns(
+        iters,
+        || {
+            black_box(run_epoch(&mut fleet, &ids));
+        },
+        || {
+            black_box(run_epoch(&mut serial, &serial_ids));
+        },
+    );
+    let speedup = sequential_ns / fleet_ns;
+    let sessions_per_sec = SESSIONS as f64 / (fleet_ns / 1e9);
+    let steps_per_sec = f64::from(STEPS) * SESSIONS as f64 / (fleet_ns / 1e9);
+
+    // The latency row is a registry scrape, not a separate stopwatch:
+    // the fleet's own `serve.step_ns` histogram over every measured
+    // (and warm-up) step.
+    let snapshot = registry.snapshot();
+    let step_ns = snapshot
+        .histogram("serve.step_ns")
+        .expect("the observed fleet fills its step histogram");
+    let p50_step_ns = step_ns
+        .quantile_upper_bound(0.5)
+        .expect("non-empty histogram");
+    let p99_step_ns = step_ns
+        .quantile_upper_bound(0.99)
+        .expect("non-empty histogram");
+
+    let host = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    println!(
+        "serve/mlp128x{SESSIONS}x{STEPS} fleet {:.2} ms vs sequential {:.2} ms \
+         ({speedup:.2}x on {workers} workers / {host} cores, \
+         {sessions_per_sec:.0} sessions/s, p99 step {p99_step_ns} ns)",
+        fleet_ns / 1e6,
+        sequential_ns / 1e6,
+    );
+    if host >= 2 {
+        assert!(
+            speedup >= 1.0,
+            "a fleet on {workers} workers must serve at least the sum-of-sequential \
+             throughput, got {speedup:.2}x ({fleet_ns:.0} ns vs {sequential_ns:.0} ns)"
+        );
+    } else {
+        // One core: parallel speedup is physically unavailable, so the
+        // gate is the scheduling overhead bound instead.
+        assert!(
+            speedup >= 0.85,
+            "on a single-core host the fleet's scheduling overhead must stay \
+             within 15% of the serial drive, got {speedup:.2}x \
+             ({fleet_ns:.0} ns vs {sequential_ns:.0} ns)"
+        );
+    }
+
+    write_artifact(&format!(
+        "{{\n  \"bench\": \"serve\",\n  \"quick\": {},\n  \
+         \"model\": \"mlp\",\n  \"channels\": {BASE_CHANNELS},\n  \
+         \"sessions\": {SESSIONS},\n  \"steps_per_session\": {STEPS},\n  \
+         \"workers\": {},\n  \
+         \"host_parallelism\": {host},\n  \
+         \"fleet_ns_per_epoch\": {fleet_ns:.0},\n  \
+         \"sequential_ns_per_epoch\": {sequential_ns:.0},\n  \
+         \"speedup\": {speedup:.3},\n  \
+         \"sessions_per_sec\": {sessions_per_sec:.1},\n  \
+         \"steps_per_sec\": {steps_per_sec:.1},\n  \
+         \"p50_step_ns\": {p50_step_ns},\n  \
+         \"p99_step_ns\": {p99_step_ns}\n}}\n",
+        quick(),
+        workers.get(),
+    ));
+}
+
+/// Writes `BENCH_serve.json` under the repository's `results/bench/`.
+fn write_artifact(json: &str) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results/bench");
+    std::fs::create_dir_all(&dir).expect("results/bench is creatable");
+    let path = dir.join("BENCH_serve.json");
+    std::fs::write(&path, json).expect("BENCH_serve.json is writable");
+    println!("wrote {}", path.display());
+}
+
+criterion_group!(benches, bench_serve, report_serve_acceptance);
+criterion_main!(benches);

@@ -70,7 +70,7 @@ pub mod prelude {
     pub use crate::budget::{check_safety, power_budget, SAFE_POWER_DENSITY};
     pub use crate::dataflow::Dataflow;
     pub use crate::obs::{Registry, Snapshot};
-    pub use crate::pool::{default_threads, par_map, par_map_init};
+    pub use crate::pool::{default_threads, par_map, par_map_init, Scheduler, TaskSlot};
     pub use crate::regimes::{ScalingRegime, SplitDesign};
     pub use crate::scaling::{scale_to_channels, scale_to_standard, ScaledSoc};
     pub use crate::soc::{

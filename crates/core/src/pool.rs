@@ -1,33 +1,50 @@
-//! Deterministic fan-out primitives shared across the workspace.
+//! The shared worker [`Scheduler`] and deterministic fan-out wrappers.
 //!
 //! Every parallel path in the reproduction — the design-space sweep
 //! engine ([`crate::sweep`]), batched DNN inference
-//! (`mindful_dnn::infer::Network::forward_batch`), and block-sampled
-//! Monte-Carlo BER measurement (`mindful_rf::modem`) — fans work out
-//! through the same two primitives:
+//! (`mindful_dnn::infer::Network::forward_batch`), block-sampled
+//! Monte-Carlo BER measurement (`mindful_rf::modem`), multi-stream
+//! serving (`mindful_pipeline::StreamSet`), and the fleet serving
+//! layer (`mindful_pipeline::serve`) — runs as a *client* of one
+//! [`Scheduler`]: a long-lived dispatch service that owns the worker
+//! budget, the claim queue, and the fairness/steal accounting. No
+//! consumer owns its own pool anymore; they differ only in which
+//! dispatch discipline they ask for:
 //!
-//! * [`par_map`] — map a function over a slice on `n` scoped threads,
-//!   preserving input order.
-//! * [`par_map_init`] — the same, but each worker first builds private
-//!   mutable state (a scratch workspace, an RNG, a reusable buffer)
-//!   that is threaded through its items. This is what makes
-//!   zero-allocation batched inference possible: one workspace per
-//!   worker, not one per sample.
+//! * [`Scheduler::map_init_with`] (and the [`par_map`] /
+//!   [`par_map_init`] wrappers over the private shared scheduler) —
+//!   **chunked** dispatch: the input splits into contiguous chunks,
+//!   one per worker, each with private per-worker state, and results
+//!   land in pre-assigned slots. Output order — and any
+//!   state-dependent output — is byte-identical for every worker
+//!   count and schedule.
+//! * [`Scheduler::map_mut_with`] — the same chunked discipline over
+//!   `&mut` items (warm pipelines that must not be rebuilt per call).
+//! * [`Scheduler::dispatch`] — **epoch / work-stealing** dispatch
+//!   over claimable [`TaskSlot`]s: every ready task is claimed exactly
+//!   once per epoch through a shared cursor, so a worker that runs dry
+//!   steals the tail of a slower worker's share. This is the
+//!   discipline the fleet layer uses to multiplex heterogeneous
+//!   implant sessions; it is only appropriate for tasks whose output
+//!   is independent of *which* worker runs them (each task owns its
+//!   whole state).
 //!
-//! Both primitives split the input into contiguous chunks, one per
-//! worker, and write results into pre-assigned slots, so the output
-//! order — and therefore everything derived from it — is independent of
-//! the worker count and of scheduling. With one thread (or at most one
-//! item) no workers are spawned at all.
+//! OS threads are scoped per call — the service is long-lived, the
+//! workers are not — so clients can hand the scheduler borrowed data
+//! without `'static` bounds, and a one-worker (or one-task) dispatch
+//! runs inline on the caller's thread without spawning or allocating.
 //!
-//! Worker count defaults to the machine's available parallelism and can
-//! be pinned with the `MINDFUL_SWEEP_THREADS` environment variable
-//! (values are clamped to `[1, 256]`; unparsable values fall back to
-//! the default). The variable predates this module — it is named after
-//! the sweep engine that introduced it — and governs every consumer of
+//! Worker count defaults to the machine's available parallelism and
+//! can be pinned with the `MINDFUL_SWEEP_THREADS` environment variable
+//! (see [`default_threads`] for the precedence contract, and
+//! [`crate::env::parse_count`] for the one shared numeric-knob
+//! parser). The variable predates this module — it is named after the
+//! sweep engine that introduced it — and governs every consumer of
 //! [`default_threads`].
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// Environment variable that pins the worker count for every consumer
 /// of [`default_threads`] (historically named after the sweep engine).
@@ -38,12 +55,18 @@ pub const MAX_SWEEP_THREADS: usize = 256;
 
 /// Resolves the default worker count for parallel fan-outs.
 ///
-/// Honors [`SWEEP_THREADS_ENV`] when set to an integer: values are
-/// clamped into `[1, MAX_SWEEP_THREADS]`, so `"0"` pins one worker and
-/// an overlong value (one that overflows `usize`) pins the maximum
-/// rather than being silently ignored. Empty, whitespace-only, or
-/// non-numeric values fall back to the machine's available
-/// parallelism (1 if that cannot be queried).
+/// The one documented precedence for the thread knob, shared by every
+/// consumer (the sweep engine's `sweep_threads` alias, `forward_batch`
+/// defaults, the serving layers):
+///
+/// 1. An explicit integer in [`SWEEP_THREADS_ENV`] always wins,
+///    clamped into `[1, MAX_SWEEP_THREADS]` by
+///    [`crate::env::parse_count`] — so `"0"` pins one worker and an
+///    overlong value (one that overflows `usize`) pins the maximum
+///    rather than being silently ignored.
+/// 2. Empty, whitespace-only, or non-numeric values defer to the
+///    machine's available parallelism.
+/// 3. If that cannot be queried, one worker.
 #[must_use]
 pub fn default_threads() -> NonZeroUsize {
     if let Some(n) = std::env::var(SWEEP_THREADS_ENV)
@@ -58,56 +81,44 @@ pub fn default_threads() -> NonZeroUsize {
 
 /// Parses a [`SWEEP_THREADS_ENV`] value into a worker count.
 ///
-/// An explicit integer always wins, clamped into
-/// `[1, MAX_SWEEP_THREADS]`: `"0"` means "as serial as possible" (one
-/// worker), and a value too large for `usize` means "as parallel as
-/// possible" ([`MAX_SWEEP_THREADS`]). Only values that carry no number
-/// at all — empty, whitespace, non-numeric — return `None` and defer
-/// to auto-detection. This is the pure core of [`default_threads`],
-/// split out so the `"0"` / `""` / `"abc"` paths are testable without
-/// racing on the process environment.
+/// A thin alias of [`crate::env::parse_count`] at the
+/// [`MAX_SWEEP_THREADS`] cap, kept so the thread knob's clamping lives
+/// in exactly one place (the shared env parser) while this module
+/// still owns the knob's name and documentation. See
+/// [`default_threads`] for the full precedence.
 #[must_use]
 pub fn thread_override(raw: &str) -> Option<NonZeroUsize> {
-    let trimmed = raw.trim();
-    if trimmed.is_empty() {
-        return None;
-    }
-    match trimmed.parse::<usize>() {
-        Ok(n) => NonZeroUsize::new(n.clamp(1, MAX_SWEEP_THREADS)),
-        // A string of digits that overflows usize is still an explicit
-        // "huge" request — clamp it instead of silently ignoring it.
-        Err(_) if trimmed.bytes().all(|b| b.is_ascii_digit()) => {
-            NonZeroUsize::new(MAX_SWEEP_THREADS)
-        }
-        Err(_) => None,
-    }
+    crate::env::parse_count(raw, MAX_SWEEP_THREADS)
 }
 
 /// Maps `f` over `items` on up to `threads` scoped worker threads,
 /// returning outputs in input order.
 ///
-/// The slice is split into contiguous chunks, one per worker; each
-/// worker writes its outputs into the matching slots of the result
-/// vector, so the output order is independent of scheduling. `f`
-/// receives the item's index alongside the item. With one thread (or
-/// one item) no workers are spawned at all.
+/// A thin wrapper over the private shared [`Scheduler`]
+/// ([`Scheduler::map_with`]): the slice is split into contiguous
+/// chunks, one per worker; each worker writes its outputs into the
+/// matching slots of the result vector, so the output order is
+/// independent of scheduling. `f` receives the item's index alongside
+/// the item. With one thread (or one item) no workers are spawned at
+/// all.
 pub fn par_map<I, T, F>(items: &[I], threads: NonZeroUsize, f: F) -> Vec<T>
 where
     I: Sync,
     T: Send,
     F: Fn(usize, &I) -> T + Sync,
 {
-    par_map_init(items, threads, || (), |(), i, x| f(i, x))
+    shared().map_with(items, threads, f)
 }
 
 /// [`par_map`] with per-worker mutable state.
 ///
-/// Each worker calls `init` exactly once before processing its chunk
-/// and threads the resulting state through every item it owns — the
-/// shape needed for reusable scratch buffers (e.g. an inference
-/// workspace) that must not be shared across threads nor rebuilt per
-/// item. On the serial path (one thread or at most one item) `init` is
-/// called once overall.
+/// A thin wrapper over the private shared [`Scheduler`]
+/// ([`Scheduler::map_init_with`]). Each worker calls `init` exactly
+/// once before processing its chunk and threads the resulting state
+/// through every item it owns — the shape needed for reusable scratch
+/// buffers (e.g. an inference workspace) that must not be shared
+/// across threads nor rebuilt per item. On the serial path (one thread
+/// or at most one item) `init` is called once overall.
 ///
 /// Results come back in input order for any worker count; the state is
 /// deterministically partitioned (worker `w` owns the `w`-th contiguous
@@ -119,37 +130,330 @@ where
     G: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &I) -> T + Sync,
 {
-    let n = items.len();
-    let workers = threads.get().min(n);
-    if workers <= 1 {
-        let mut state = init();
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, x)| f(&mut state, i, x))
-            .collect();
+    shared().map_init_with(items, threads, init, f)
+}
+
+/// [`par_map`] over `&mut` items.
+///
+/// A thin wrapper over the private shared [`Scheduler`]
+/// ([`Scheduler::map_mut_with`]) for clients whose tasks are long-lived
+/// warm state (a `StreamSet`'s pipelines) rather than inputs to copy
+/// from. Same chunk math and determinism guarantees as [`par_map`].
+pub fn par_map_mut<T, R, F>(items: &mut [T], threads: NonZeroUsize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    shared().map_mut_with(items, threads, f)
+}
+
+/// The process-wide scheduler behind [`par_map`] / [`par_map_init`].
+///
+/// Kept private to the wrappers; layers that want to share one
+/// scheduler explicitly (the fleet serving layer) construct and pass
+/// their own [`Scheduler`].
+fn shared() -> &'static Scheduler {
+    static SHARED: OnceLock<Scheduler> = OnceLock::new();
+    SHARED.get_or_init(Scheduler::with_default_threads)
+}
+
+/// A cumulative snapshot of a [`Scheduler`]'s dispatch accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Dispatch calls served (chunked maps and stealing epochs alike).
+    pub epochs: u64,
+    /// Tasks run across all dispatches.
+    pub tasks: u64,
+    /// Tasks claimed by a worker beyond its fair per-epoch share —
+    /// the work-stealing ledger (always zero for chunked dispatch,
+    /// which pre-assigns shares).
+    pub steals: u64,
+}
+
+/// A claimable work slot for [`Scheduler::dispatch`].
+///
+/// Interior-mutable so that *any* worker can take exclusive access to
+/// the task it claims: the dispatch cursor hands each ready index to
+/// exactly one worker per epoch, so the lock is uncontended by
+/// construction and exists only to make the hand-off safe. Locking a
+/// warm slot performs no heap allocation.
+#[derive(Debug, Default)]
+pub struct TaskSlot<T>(Mutex<T>);
+
+impl<T> TaskSlot<T> {
+    /// Wraps a task.
+    pub fn new(task: T) -> Self {
+        Self(Mutex::new(task))
     }
-    let chunk = n.div_ceil(workers);
-    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
-    std::thread::scope(|scope| {
-        let f = &f;
-        let init = &init;
-        for (ci, (in_chunk, out_chunk)) in
-            items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
-        {
-            let base = ci * chunk;
-            scope.spawn(move || {
-                let mut state = init();
-                for (j, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
-                    *slot = Some(f(&mut state, base + j, item));
-                }
-            });
+
+    /// Exclusive access without locking (requires `&mut self`, so the
+    /// borrow checker proves no worker holds the slot).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Unwraps the task.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Locks the slot (used by the dispatch workers; a claimed slot is
+    /// never contended).
+    fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A long-lived dispatch service multiplexing clients over one worker
+/// budget.
+///
+/// The scheduler owns scheduling *policy and accounting*, not OS
+/// threads: workers are scoped per dispatch call, so clients can hand
+/// it borrowed data, and the serial paths (one worker or at most one
+/// task) run inline without spawning or allocating. See the module
+/// docs for the two dispatch disciplines and which clients use which.
+#[derive(Debug)]
+pub struct Scheduler {
+    workers: NonZeroUsize,
+    epochs: AtomicU64,
+    tasks: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl Scheduler {
+    /// A scheduler with an explicit worker budget.
+    #[must_use]
+    pub fn new(workers: NonZeroUsize) -> Self {
+        Self {
+            workers,
+            epochs: AtomicU64::new(0),
+            tasks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
         }
-    });
-    out.into_iter()
-        .map(|slot| slot.expect("every slot is written by exactly one worker"))
-        .collect()
+    }
+
+    /// A scheduler sized by [`default_threads`] (the
+    /// `MINDFUL_SWEEP_THREADS` precedence, resolved at construction).
+    #[must_use]
+    pub fn with_default_threads() -> Self {
+        Self::new(default_threads())
+    }
+
+    /// The scheduler's worker budget.
+    #[must_use]
+    pub fn workers(&self) -> NonZeroUsize {
+        self.workers
+    }
+
+    /// A snapshot of the cumulative dispatch accounting.
+    #[must_use]
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            epochs: self.epochs.load(Ordering::Relaxed),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+        }
+    }
+
+    fn account(&self, tasks: usize, steals: u64) {
+        self.epochs.fetch_add(1, Ordering::Relaxed);
+        self.tasks.fetch_add(tasks as u64, Ordering::Relaxed);
+        if steals > 0 {
+            self.steals.fetch_add(steals, Ordering::Relaxed);
+        }
+    }
+
+    /// Chunked map over `items` using the scheduler's own worker
+    /// budget. See [`Scheduler::map_init_with`].
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        self.map_with(items, self.workers, f)
+    }
+
+    /// Chunked map over `items` on up to `threads` workers (stateless
+    /// form of [`Scheduler::map_init_with`]).
+    pub fn map_with<I, T, F>(&self, items: &[I], threads: NonZeroUsize, f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        self.map_init_with(items, threads, || (), |(), i, x| f(i, x))
+    }
+
+    /// Chunked map with per-worker state using the scheduler's own
+    /// worker budget. See [`Scheduler::map_init_with`].
+    pub fn map_init<I, T, S, G, F>(&self, items: &[I], init: G, f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        G: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &I) -> T + Sync,
+    {
+        self.map_init_with(items, self.workers, init, f)
+    }
+
+    /// Chunked, deterministic dispatch: maps `f` over `items` on up to
+    /// `threads` scoped workers, each with private state built once by
+    /// `init`, returning outputs in input order.
+    ///
+    /// The input splits into contiguous chunks, one per worker; worker
+    /// `w` owns the `w`-th chunk and writes into the matching result
+    /// slots, so the output — including any state-dependent output —
+    /// is byte-identical for every schedule. With one thread (or at
+    /// most one item) everything runs inline on the caller's thread.
+    pub fn map_init_with<I, T, S, G, F>(
+        &self,
+        items: &[I],
+        threads: NonZeroUsize,
+        init: G,
+        f: F,
+    ) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        G: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &I) -> T + Sync,
+    {
+        let n = items.len();
+        self.account(n, 0);
+        let workers = threads.get().min(n);
+        if workers <= 1 {
+            let mut state = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, x)| f(&mut state, i, x))
+                .collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            let f = &f;
+            let init = &init;
+            for (ci, (in_chunk, out_chunk)) in
+                items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+            {
+                let base = ci * chunk;
+                scope.spawn(move || {
+                    let mut state = init();
+                    for (j, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
+                        *slot = Some(f(&mut state, base + j, item));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("every slot is written by exactly one worker"))
+            .collect()
+    }
+
+    /// Chunked dispatch over `&mut` items: maps `f` over `items` on up
+    /// to `threads` scoped workers, returning outputs in input order.
+    ///
+    /// The `&mut` twin of [`Scheduler::map_with`] for clients whose
+    /// tasks are long-lived warm state (a `StreamSet`'s pipelines)
+    /// rather than inputs to copy from. Same chunk math, same
+    /// determinism guarantees.
+    pub fn map_mut_with<T, R, F>(&self, items: &mut [T], threads: NonZeroUsize, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        let n = items.len();
+        self.account(n, 0);
+        let workers = threads.get().min(n);
+        if workers <= 1 {
+            return items.iter_mut().enumerate().map(|(i, x)| f(i, x)).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            let f = &f;
+            for (ci, (in_chunk, out_chunk)) in items
+                .chunks_mut(chunk)
+                .zip(out.chunks_mut(chunk))
+                .enumerate()
+            {
+                let base = ci * chunk;
+                scope.spawn(move || {
+                    for (j, (item, slot)) in
+                        in_chunk.iter_mut().zip(out_chunk.iter_mut()).enumerate()
+                    {
+                        *slot = Some(f(base + j, item));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("every slot is written by exactly one worker"))
+            .collect()
+    }
+
+    /// One epoch of work-stealing dispatch: runs `run` once for every
+    /// index in `ready`, claiming tasks through a shared cursor so
+    /// workers that finish their fair share steal the remainder.
+    ///
+    /// `ready` indexes into `slots`; each listed slot is claimed by
+    /// exactly one worker this epoch (listing an index twice runs it
+    /// twice, sequentially — the slot lock serializes the runs). Tasks
+    /// run in `ready` order *of claiming*, but which worker runs which
+    /// task is schedule-dependent, so this discipline is only for
+    /// tasks whose output is independent of the executing worker (each
+    /// task owns its whole state). With one worker (or at most one
+    /// ready task) the epoch runs inline, in `ready` order, without
+    /// spawning or allocating — the warm fleet path.
+    pub fn dispatch<T, F>(&self, slots: &[TaskSlot<T>], ready: &[usize], run: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let n = ready.len();
+        let workers = self.workers.get().min(n);
+        if workers <= 1 {
+            self.account(n, 0);
+            for &idx in ready {
+                run(idx, &mut slots[idx].lock());
+            }
+            return;
+        }
+        // Fair share per worker; claims beyond it are steals.
+        let share = n.div_ceil(workers);
+        let cursor = AtomicUsize::new(0);
+        let stolen = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            let run = &run;
+            let cursor = &cursor;
+            let stolen = &stolen;
+            for _ in 0..workers {
+                scope.spawn(move || {
+                    let mut claimed = 0_u64;
+                    loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        if k >= n {
+                            break;
+                        }
+                        claimed += 1;
+                        let idx = ready[k];
+                        run(idx, &mut slots[idx].lock());
+                    }
+                    let over = claimed.saturating_sub(share as u64);
+                    if over > 0 {
+                        stolen.fetch_add(over, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        self.account(n, stolen.load(Ordering::Relaxed));
+    }
 }
 
 #[cfg(test)]
@@ -242,7 +546,9 @@ mod tests {
     /// Regression for the env-parsing bug: `"0"` used to fail the
     /// `NonZeroUsize` conversion and overlong values failed the parse,
     /// both silently falling back to auto-detection instead of
-    /// honouring the explicit (if extreme) request.
+    /// honouring the explicit (if extreme) request. The parsing now
+    /// lives in [`crate::env::parse_count`]; these pins prove the
+    /// delegation preserves the contract at this knob's cap.
     #[test]
     fn thread_override_clamps_explicit_values() {
         assert_eq!(thread_override("0"), NonZeroUsize::new(1));
@@ -272,5 +578,125 @@ mod tests {
         assert_eq!(thread_override("8 workers"), None);
         assert_eq!(thread_override("-4"), None, "signs are not digits");
         assert_eq!(thread_override("3.5"), None);
+    }
+
+    #[test]
+    fn scheduler_map_matches_the_wrappers_byte_for_byte() {
+        let items: Vec<u64> = (0..53).collect();
+        let scheduler = Scheduler::new(threads(4));
+        for workers in [1, 2, 4, 9] {
+            let via_wrapper = par_map_init(
+                &items,
+                threads(workers),
+                || 1_u64,
+                |s, i, &x| {
+                    *s = s.wrapping_mul(31).wrapping_add(x);
+                    (i as u64, *s)
+                },
+            );
+            let via_scheduler = scheduler.map_init_with(
+                &items,
+                threads(workers),
+                || 1_u64,
+                |s, i, &x| {
+                    *s = s.wrapping_mul(31).wrapping_add(x);
+                    (i as u64, *s)
+                },
+            );
+            assert_eq!(via_wrapper, via_scheduler, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn map_mut_matches_map_over_the_same_items() {
+        let base: Vec<u32> = (0..37).collect();
+        let scheduler = Scheduler::new(threads(4));
+        for workers in [1, 2, 4, 16] {
+            let mut items = base.clone();
+            let got = scheduler.map_mut_with(&mut items, threads(workers), |i, x| {
+                *x += 1;
+                (i, *x)
+            });
+            let expect: Vec<(usize, u32)> =
+                base.iter().enumerate().map(|(i, &x)| (i, x + 1)).collect();
+            assert_eq!(got, expect, "{workers} workers");
+            assert!(items.iter().zip(&base).all(|(a, b)| *a == b + 1));
+        }
+    }
+
+    #[test]
+    fn dispatch_runs_every_ready_task_exactly_once() {
+        for workers in [1, 2, 3, 8] {
+            let scheduler = Scheduler::new(threads(workers));
+            let slots: Vec<TaskSlot<u64>> = (0..29).map(|_| TaskSlot::new(0)).collect();
+            let ready: Vec<usize> = (0..slots.len()).collect();
+            for epoch in 1..=3_u64 {
+                scheduler.dispatch(&slots, &ready, |_, count| *count += 1);
+                for (i, slot) in slots.iter().enumerate() {
+                    assert_eq!(*slot.lock(), epoch, "slot {i} on {workers} workers");
+                }
+            }
+            let stats = scheduler.stats();
+            assert_eq!(stats.epochs, 3);
+            assert_eq!(stats.tasks, 3 * 29);
+        }
+    }
+
+    #[test]
+    fn dispatch_honors_a_partial_ready_list() {
+        let scheduler = Scheduler::new(threads(4));
+        let mut slots: Vec<TaskSlot<u64>> = (0..10).map(|_| TaskSlot::new(0)).collect();
+        let ready = [1_usize, 4, 7];
+        scheduler.dispatch(&slots, &ready, |idx, count| *count += idx as u64 + 1);
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let expect = if ready.contains(&i) { i as u64 + 1 } else { 0 };
+            assert_eq!(*slot.get_mut(), expect, "slot {i}");
+        }
+        // An empty epoch is a no-op.
+        scheduler.dispatch(&slots, &[], |_, _: &mut u64| unreachable!());
+    }
+
+    #[test]
+    fn dispatch_steals_when_shares_are_unbalanced() {
+        // 2 workers over 8 tasks: one task sleeps, so the other worker
+        // must claim (steal) most of the queue for the epoch to finish.
+        let scheduler = Scheduler::new(threads(2));
+        let slots: Vec<TaskSlot<u64>> = (0..8).map(|_| TaskSlot::new(0)).collect();
+        let ready: Vec<usize> = (0..slots.len()).collect();
+        scheduler.dispatch(&slots, &ready, |idx, count| {
+            if idx == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            *count += 1;
+        });
+        for slot in &slots {
+            assert_eq!(*slot.lock(), 1, "every task ran despite the straggler");
+        }
+        let stats = scheduler.stats();
+        assert_eq!(stats.tasks, 8);
+        assert!(
+            stats.steals >= 2,
+            "the free worker stole the straggler's share (got {})",
+            stats.steals
+        );
+    }
+
+    #[test]
+    fn task_slot_access_paths_agree() {
+        let mut slot = TaskSlot::new(5_u32);
+        *slot.get_mut() += 1;
+        *slot.lock() += 1;
+        assert_eq!(slot.into_inner(), 7);
+    }
+
+    #[test]
+    fn scheduler_reports_its_worker_budget() {
+        let scheduler = Scheduler::new(threads(3));
+        assert_eq!(scheduler.workers().get(), 3);
+        assert!(Scheduler::with_default_threads().workers().get() >= 1);
+        assert_eq!(
+            Scheduler::new(threads(2)).stats(),
+            SchedulerStats::default()
+        );
     }
 }

@@ -273,6 +273,10 @@ impl SweepGrid {
 
     /// Maps `f` over every cell on up to `threads` workers, returning
     /// results in grid order regardless of the worker count.
+    ///
+    /// A client of the shared [`crate::pool::Scheduler`] (via
+    /// [`par_map`]); use [`Self::map_on`] to target an explicit
+    /// scheduler instead.
     pub fn map_with_threads<T, F>(&self, threads: NonZeroUsize, f: F) -> Vec<T>
     where
         T: Send,
@@ -280,6 +284,22 @@ impl SweepGrid {
     {
         let indices: Vec<usize> = (0..self.len()).collect();
         par_map(&indices, threads, |_, &i| f(self.coord(i)))
+    }
+
+    /// Maps `f` over every cell as a client of an explicit
+    /// `scheduler`, using its full worker budget, returning results in
+    /// grid order.
+    ///
+    /// Output is byte-identical to [`Self::map_with_threads`] at the
+    /// same worker count — the sweep does not own a pool either way,
+    /// it only chooses which scheduler to enqueue on.
+    pub fn map_on<T, F>(&self, scheduler: &crate::pool::Scheduler, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(SweepCoord<'_>) -> T + Sync,
+    {
+        let indices: Vec<usize> = (0..self.len()).collect();
+        scheduler.map(&indices, |_, &i| f(self.coord(i)))
     }
 
     /// Evaluates every cell with the built-in power/area model and the
@@ -300,6 +320,17 @@ impl SweepGrid {
     /// See [`Self::evaluate_cached`].
     pub fn evaluate_with_threads(&self, threads: NonZeroUsize) -> Result<SweepResult> {
         self.evaluate_cached(&ProjectionCache::new(), threads)
+    }
+
+    /// Evaluates every cell as a client of an explicit `scheduler`
+    /// with a fresh projection cache; byte-identical to
+    /// [`Self::evaluate_with_threads`] at the same worker count.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::evaluate_cached`].
+    pub fn evaluate_on(&self, scheduler: &crate::pool::Scheduler) -> Result<SweepResult> {
+        self.evaluate_with_threads(scheduler.workers())
     }
 
     /// Evaluates every cell, memoizing projections in `cache`.
@@ -833,6 +864,21 @@ mod tests {
             assert_eq!(serial.points(), parallel.points(), "{workers} workers");
             assert_eq!(serial.to_csv(), parallel.to_csv(), "{workers} workers");
         }
+    }
+
+    #[test]
+    fn scheduler_client_entry_points_match_the_thread_forms() {
+        let grid = toy_grid();
+        let baseline = grid.evaluate_with_threads(threads(3)).unwrap();
+        let scheduler = crate::pool::Scheduler::new(threads(3));
+        let via_scheduler = grid.evaluate_on(&scheduler).unwrap();
+        assert_eq!(baseline.points(), via_scheduler.points());
+        assert_eq!(baseline.to_csv(), via_scheduler.to_csv());
+
+        let mapped = grid.map_with_threads(threads(3), |c| (c.index, c.channels));
+        let mapped_on = grid.map_on(&scheduler, |c| (c.index, c.channels));
+        assert_eq!(mapped, mapped_on);
+        assert!(scheduler.stats().tasks >= grid.len() as u64);
     }
 
     #[test]

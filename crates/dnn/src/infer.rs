@@ -310,6 +310,40 @@ impl Network {
         self.forward_batch(inputs, pool::default_threads())
     }
 
+    /// [`Network::forward_batch`] as a client of an explicit
+    /// `scheduler`, using its full worker budget and one warm workspace
+    /// per worker.
+    ///
+    /// Outputs are bit-identical to [`Network::forward_batch`] at the
+    /// same worker count — inference does not own a pool either way, it
+    /// only chooses which scheduler to enqueue on. The fleet serving
+    /// layer uses this form so batch inference and session stepping
+    /// share one worker budget.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::forward_batch`].
+    pub fn forward_batch_on<S>(
+        &self,
+        inputs: &[S],
+        scheduler: &pool::Scheduler,
+    ) -> Result<Vec<Vec<f32>>>
+    where
+        S: AsRef<[f32]> + Sync,
+    {
+        for sample in inputs {
+            self.check_input(sample.as_ref())?;
+        }
+        Ok(scheduler.map_init(
+            inputs,
+            || self.workspace(),
+            |ws, _, sample| {
+                self.run_layers(sample.as_ref(), self.arch.len(), false, ws)
+                    .to_vec()
+            },
+        ))
+    }
+
     /// [`Network::forward_batch`] that additionally records engine
     /// metrics into `registry` under `prefix`:
     ///
@@ -706,6 +740,25 @@ mod tests {
         assert_eq!(net.forward_batch_auto(&batch).unwrap(), expect);
         let empty: Vec<Vec<f32>> = Vec::new();
         assert!(net.forward_batch_auto(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn forward_batch_on_matches_the_thread_form() {
+        let arch = ModelFamily::Mlp.architecture(BASE_CHANNELS).unwrap();
+        let net = Network::with_seeded_weights(arch, 21);
+        let batch: Vec<Vec<f32>> = (0..7)
+            .map(|s| (0..128).map(|i| ((i + s) as f32).sin()).collect())
+            .collect();
+        for workers in [1_usize, 3] {
+            let threads = NonZeroUsize::new(workers).unwrap();
+            let scheduler = pool::Scheduler::new(threads);
+            let got = net.forward_batch_on(&batch, &scheduler).unwrap();
+            assert_eq!(got, net.forward_batch(&batch, threads).unwrap());
+            assert_eq!(scheduler.stats().tasks, batch.len() as u64);
+        }
+        let bad = vec![vec![0.0_f32; 127]];
+        let scheduler = pool::Scheduler::new(NonZeroUsize::MIN);
+        assert!(net.forward_batch_on(&bad, &scheduler).is_err());
     }
 
     #[test]

@@ -22,15 +22,23 @@
 //! the per-chain fault telemetry (injected / degraded / quarantined
 //! counts) that the PR 4 graceful-degradation work threads through
 //! the per-stage telemetry.
+//!
+//! Finally the fleet study serves each family through the dynamic
+//! serving layer: independent sessions admitted to a [`Fleet`] on the
+//! shared scheduler and deliberately oversubscribed every epoch, so
+//! the load-shedding path (excess demand degraded through the
+//! concealment stage) is measured alongside the real decode steps and
+//! its accounting is checked field-exactly against the sessions' own
+//! conceal telemetry.
 
-use std::num::NonZeroUsize;
+use std::num::{NonZeroU32, NonZeroUsize};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
 use mindful_accel::alloc::best_allocation;
 use mindful_core::obs::{clear_spans, drain_spans, Registry, Snapshot};
-use mindful_core::pool::default_threads;
+use mindful_core::pool::{default_threads, Scheduler};
 use mindful_core::regimes::standard_split_designs;
 use mindful_core::throughput::sensing_throughput;
 use mindful_core::units::TimeSpan;
@@ -171,6 +179,47 @@ impl MeasuredStreaming {
     }
 }
 
+/// Measured dynamic-fleet serving for one model family: the serving
+/// layer's [`Fleet`] admitting independent sessions over the shared
+/// scheduler, deliberately oversubscribed each epoch so the
+/// load-shedding path (gap markers into the concealment stage) is part
+/// of the measurement, not a footnote.
+#[derive(Debug, Clone)]
+pub struct MeasuredFleet {
+    /// Model family.
+    pub family: ModelFamily,
+    /// Concurrent sessions admitted.
+    pub sessions: usize,
+    /// Scheduler workers the fleet fanned over.
+    pub workers: usize,
+    /// Scheduling epochs timed.
+    pub epochs: u64,
+    /// Real pipeline steps run across all timed epochs.
+    pub steps: u64,
+    /// Oversubscribed steps shed into concealment.
+    pub shed: u64,
+    /// Frames the sessions' conceal stages report as degraded — must
+    /// equal `shed` exactly (the field-exact accounting contract).
+    pub degraded: u64,
+    /// Wall time across the timed epochs.
+    pub elapsed: TimeSpan,
+}
+
+impl MeasuredFleet {
+    /// Measured wall time per real step.
+    #[must_use]
+    pub fn per_step(&self) -> TimeSpan {
+        TimeSpan::from_seconds(self.elapsed.seconds() / self.steps.max(1) as f64)
+    }
+
+    /// Session-epochs served per second (each session advances once per
+    /// epoch).
+    #[must_use]
+    pub fn sessions_per_sec(&self) -> f64 {
+        (self.sessions as f64 * self.epochs as f64) / self.elapsed.seconds()
+    }
+}
+
 /// The generated study.
 #[derive(Debug, Clone)]
 pub struct Realtime {
@@ -180,6 +229,8 @@ pub struct Realtime {
     pub measured: Vec<MeasuredThroughput>,
     /// Measured streaming-pipeline throughput per family.
     pub streaming: Vec<MeasuredStreaming>,
+    /// Measured dynamic-fleet serving per family.
+    pub fleet: Vec<MeasuredFleet>,
 }
 
 /// Computes latency breakdowns for SoCs 1–8 at 1024 channels.
@@ -223,6 +274,7 @@ pub fn generate() -> Result<Realtime> {
         rows,
         measured: measure_throughput()?,
         streaming: measure_streaming()?,
+        fleet: measure_fleet()?,
     })
 }
 
@@ -391,6 +443,95 @@ fn measure_streaming() -> Result<Vec<MeasuredStreaming>> {
         }
     }
     Ok(streaming)
+}
+
+/// Concurrent sessions the fleet study admits per family.
+const FLEET_SESSIONS: usize = 4;
+
+/// Timed oversubscribed epochs per family.
+const FLEET_EPOCHS: u64 = 4;
+
+/// Per-session scheduling quantum: real steps served each epoch.
+const FLEET_QUANTUM: u32 = 8;
+
+/// Per-session demand queued each timed epoch. The excess over the
+/// quantum is shed into concealment, so every timed epoch exercises
+/// both the decode path and the degraded path.
+const FLEET_DEMAND: u32 = 12;
+
+/// Admits each decoder family's sessions to a dynamic [`Fleet`] and
+/// times oversubscribed serving epochs: every epoch each session queues
+/// [`FLEET_DEMAND`] frames but is served only its [`FLEET_QUANTUM`], so
+/// the excess is shed as gap markers that the concealment stage
+/// degrades while the quantum's worth decodes for real. The warm-up
+/// epoch requests exactly one quantum (nothing sheds), so the conceal
+/// stages' degraded counts afterwards mirror the timed sheds
+/// field-exactly.
+fn measure_fleet() -> Result<Vec<MeasuredFleet>> {
+    let workers = default_threads();
+    let scheduler = Scheduler::new(workers);
+    let mut rows = Vec::new();
+    for family in ModelFamily::ALL {
+        let arch = family.architecture(BASE_CHANNELS)?;
+        let net = Arc::new(Network::with_seeded_weights(arch, 7));
+        let width = net.architecture().input_values() as usize;
+        let frames = synthetic_frames(width, 8);
+        let config = FleetConfig {
+            capacity: NonZeroUsize::new(FLEET_SESSIONS).expect("non-zero"),
+            quantum: NonZeroU32::new(FLEET_QUANTUM).expect("non-zero"),
+            max_backlog: FLEET_DEMAND + FLEET_QUANTUM,
+        };
+        let mut fleet = Fleet::new(&scheduler, config);
+        let mut ids = Vec::with_capacity(FLEET_SESSIONS);
+        for _ in 0..FLEET_SESSIONS {
+            let spec = SessionSpec::new(
+                Pipeline::new()
+                    .with_stage(ReplaySource::new(frames.clone())?)
+                    .with_stage(ConcealStage::new(width, DegradePolicy::HoldLast)?)
+                    .with_stage(DnnStage::shared(Arc::clone(&net), 10)?),
+            )
+            .with_shed(1, FrameKind::Activations);
+            ids.push(fleet.admit(spec)?);
+        }
+        // Warm epoch at exactly one quantum: buffers size, workspaces
+        // grow, nothing sheds.
+        for &id in &ids {
+            assert_eq!(fleet.request(id, FLEET_QUANTUM)?, FLEET_QUANTUM);
+        }
+        fleet.drive_epoch()?;
+        let (mut steps, mut shed) = (0u64, 0u64);
+        let start = Instant::now();
+        for _ in 0..FLEET_EPOCHS {
+            for &id in &ids {
+                assert_eq!(fleet.request(id, FLEET_DEMAND)?, FLEET_DEMAND);
+            }
+            let report = fleet.drive_epoch()?;
+            steps += report.steps;
+            shed += report.shed;
+        }
+        let elapsed = start.elapsed();
+        let mut degraded = 0;
+        for id in ids {
+            let report = fleet.evict(id)?;
+            degraded += report
+                .telemetry
+                .iter()
+                .filter_map(|t| t.faults)
+                .map(|f| f.degraded)
+                .sum::<u64>();
+        }
+        rows.push(MeasuredFleet {
+            family,
+            sessions: FLEET_SESSIONS,
+            workers: workers.get(),
+            epochs: FLEET_EPOCHS,
+            steps,
+            shed,
+            degraded,
+            elapsed: TimeSpan::from_seconds(elapsed.as_secs_f64()),
+        });
+    }
+    Ok(rows)
 }
 
 /// Writes the latency table and summary.
@@ -564,6 +705,49 @@ pub fn render(study: &Realtime, dir: &Path) -> Result<Artifacts> {
          realtime_observed.csv, per-layer spans in realtime_measured.csv",
         study.streaming.first().map_or(0, |m| m.snapshot.len()),
     ));
+
+    let mut fleet_csv = Csv::new(&[
+        "model",
+        "sessions",
+        "workers",
+        "epochs",
+        "steps",
+        "shed",
+        "degraded",
+        "us_per_step",
+        "sessions_per_sec",
+    ]);
+    artifacts.report(format!(
+        "\nmeasured fleet serving ({} oversubscribed sessions x {} epochs at \
+         {BASE_CHANNELS} channels, dynamic Fleet over the shared scheduler):",
+        study.fleet.first().map_or(0, |m| m.sessions),
+        study.fleet.first().map_or(0, |m| m.epochs),
+    ));
+    for m in &study.fleet {
+        fleet_csv.push(&[
+            m.family.to_string(),
+            m.sessions.to_string(),
+            m.workers.to_string(),
+            m.epochs.to_string(),
+            m.steps.to_string(),
+            m.shed.to_string(),
+            m.degraded.to_string(),
+            format!("{:.1}", m.per_step().microseconds()),
+            format!("{:.1}", m.sessions_per_sec()),
+        ]);
+        artifacts.report(format!(
+            "  {}: {:.1} us/step across {} sessions on {} worker(s), \
+             {} steps decoded / {} shed into concealment ({} degraded)",
+            m.family,
+            m.per_step().microseconds(),
+            m.sessions,
+            m.workers,
+            m.steps,
+            m.shed,
+            m.degraded,
+        ));
+    }
+    artifacts.write_file(dir, "realtime_fleet.csv", fleet_csv.as_str())?;
     Ok(artifacts)
 }
 
@@ -614,7 +798,7 @@ mod tests {
     fn render_writes_the_table() {
         let dir = std::env::temp_dir().join("mindful-realtime-test");
         let artifacts = render(study(), &dir).unwrap();
-        assert_eq!(artifacts.files().len(), 4);
+        assert_eq!(artifacts.files().len(), 5);
         assert!(artifacts.report_text().contains("reaction time"));
         assert!(artifacts
             .report_text()
@@ -622,6 +806,7 @@ mod tests {
         assert!(artifacts
             .report_text()
             .contains("measured streaming pipeline"));
+        assert!(artifacts.report_text().contains("measured fleet serving"));
         assert!(artifacts.report_text().contains("observability"));
         let observed = std::fs::read_to_string(dir.join("realtime_observed.csv")).unwrap();
         assert!(observed.starts_with("model,mode,metric,value\n"));
@@ -680,6 +865,35 @@ mod tests {
                 m.family
             );
             assert!(m.frames_per_second() > 0.0);
+        }
+    }
+
+    #[test]
+    fn fleet_serves_every_family_with_field_exact_shed_accounting() {
+        let study = study();
+        assert_eq!(study.fleet.len(), ModelFamily::ALL.len());
+        for m in &study.fleet {
+            // The oversubscription schedule is deterministic: every
+            // timed epoch serves one quantum per session and sheds the
+            // excess demand.
+            assert_eq!(
+                m.steps,
+                m.epochs * m.sessions as u64 * u64::from(FLEET_QUANTUM),
+                "{}",
+                m.family
+            );
+            assert_eq!(
+                m.shed,
+                m.epochs * m.sessions as u64 * u64::from(FLEET_DEMAND - FLEET_QUANTUM),
+                "{}",
+                m.family
+            );
+            // Every shed step must surface as exactly one concealed
+            // frame in the sessions' own telemetry — the field-exact
+            // accounting contract of the serving layer.
+            assert_eq!(m.degraded, m.shed, "{}", m.family);
+            assert!(m.per_step().seconds() > 0.0, "{}", m.family);
+            assert!(m.sessions_per_sec() > 0.0, "{}", m.family);
         }
     }
 

@@ -25,6 +25,17 @@ pub enum PipelineError {
     },
     /// The pipeline has no stages.
     Empty,
+    /// The fleet is at capacity and cannot admit another session.
+    FleetSaturated {
+        /// The fleet's configured session capacity.
+        capacity: usize,
+    },
+    /// No live session has this id (never admitted, or already
+    /// evicted).
+    UnknownSession {
+        /// The id that failed to resolve.
+        id: u64,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -38,6 +49,10 @@ impl fmt::Display for PipelineError {
                 write!(f, "stage {stage} cannot consume a {actual} frame")
             }
             Self::Empty => write!(f, "pipeline has no stages"),
+            Self::FleetSaturated { capacity } => {
+                write!(f, "fleet is saturated at {capacity} sessions")
+            }
+            Self::UnknownSession { id } => write!(f, "no live session with id {id}"),
         }
     }
 }
@@ -49,7 +64,10 @@ impl std::error::Error for PipelineError {
             Self::Decode(e) => Some(e),
             Self::Dnn(e) => Some(e),
             Self::Rf(e) => Some(e),
-            Self::UnexpectedFrame { .. } | Self::Empty => None,
+            Self::UnexpectedFrame { .. }
+            | Self::Empty
+            | Self::FleetSaturated { .. }
+            | Self::UnknownSession { .. } => None,
         }
     }
 }

@@ -8,8 +8,13 @@
 //! implant with **zero heap allocations after warm-up** (the property
 //! an actual implant's fixed-memory firmware must have, proven here by
 //! a counting-allocator test), and [`run_streams`] / [`StreamSet`] fan
-//! independent streams over the shared worker pool for host-side
+//! independent streams over the shared scheduler for host-side
 //! serving (build once, drive repeatedly for the warm steady state).
+//! The [`serve`] module generalizes the stream set into a dynamic
+//! [`Fleet`]: sessions are admitted and evicted at runtime, scheduled
+//! fairly over a shared [`mindful_core::pool::Scheduler`], held to a
+//! per-session backpressure bound, and load-shed into their
+//! concealment stages when oversubscribed.
 //!
 //! Buffer ownership follows one rule: every stage *owns its output
 //! buffer* (inside the pipeline's per-stage slot) and *borrows its
@@ -36,6 +41,7 @@ mod fault;
 mod frame;
 pub mod obs;
 mod secure;
+pub mod serve;
 mod stage;
 mod stages;
 mod stream;
@@ -47,6 +53,9 @@ pub use fault::{
 pub use frame::{Frame, FrameBuf, FrameKind, StageOutput};
 pub use mindful_dnn::quant::Precision;
 pub use secure::{FirewallConfig, FirewallStage, SecureTelemetry, COHERENCE_SCALE};
+pub use serve::{
+    EpochReport, Fleet, FleetConfig, SessionId, SessionReport, SessionSpec, ShedPoint,
+};
 pub use stage::{Pipeline, Stage, StageTelemetry};
 pub use stages::{
     BinStage, DnnStage, IntentSchedule, KalmanStage, PacketizeStage, ReplaySource, SenseStage,
@@ -58,6 +67,7 @@ pub use stream::{run_streams, StreamReport, StreamSet};
 pub mod prelude {
     pub use crate::fault::{ConcealStage, DegradePolicy, FaultStage, FaultTelemetry, LinkStage};
     pub use crate::secure::{FirewallConfig, FirewallStage, SecureTelemetry};
+    pub use crate::serve::{Fleet, FleetConfig, SessionId, SessionSpec, ShedPoint};
     pub use crate::stages::{
         BinStage, DnnStage, IntentSchedule, KalmanStage, PacketizeStage, ReplaySource, SenseStage,
         SpikeStage, WienerStage,

@@ -1,0 +1,1012 @@
+//! Fleet serving: multiplexing many implant sessions over the shared
+//! scheduler.
+//!
+//! [`crate::StreamSet`] serves a *fixed* set of homogeneous streams by
+//! driving every pipeline the same number of steps. A deployed host
+//! serves a *fleet*: sessions (one per patient-device link) come and
+//! go, differ in channel count, decoder, fault plan, and security
+//! state, and demand arrives unevenly — so the serving layer needs
+//! admission, eviction, fair scheduling, per-session backpressure, and
+//! a disciplined answer to oversubscription. This module provides it:
+//!
+//! * A [`Fleet`] admits independent [`SessionSpec`]s — each an owned
+//!   [`Pipeline`] with its own ARQ/auth state, fault plan, precision,
+//!   and (when a registry is attached) its own per-session metric
+//!   prefix — and evicts them with a full end-of-stream drain
+//!   ([`Pipeline::finish`]).
+//! * Demand is queued per session through [`Fleet::request`], capped
+//!   by the per-session backlog bound ([`FleetConfig::max_backlog`]) —
+//!   the backpressure contract: excess demand is *rejected at the
+//!   edge*, visibly, rather than ballooning memory.
+//! * [`Fleet::drive_epoch`] runs one scheduling epoch as a client of a
+//!   shared [`Scheduler`] ([`Scheduler::dispatch`] work-stealing over
+//!   the session slots): every session with demand advances up to the
+//!   fair per-epoch quantum ([`FleetConfig::quantum`]), so no session
+//!   starves no matter how oversubscribed the fleet is.
+//! * Demand beyond the quantum is **load-shed into degraded mode**
+//!   rather than stalled: a session admitted with a [`ShedPoint`] has
+//!   the excess pushed as in-band gap markers (an empty typed frame)
+//!   directly at its [`crate::ConcealStage`] via [`Pipeline::push_at`]
+//!   — skipping the whole upstream chain (the actual cost saving) and
+//!   landing in the concealer's existing degradation policies, where
+//!   every shed step is accounted field-exactly as
+//!   [`crate::FaultTelemetry::degraded`]. Sessions without a shed
+//!   point simply stay backlogged.
+//!
+//! The warm per-step path — ready-list scan, dispatch on one worker,
+//! [`Pipeline::step`]/[`Pipeline::push_at`] on warm buffers, metric
+//! recording — performs no heap allocation (proven by the crate's
+//! counting-allocator test). With a multi-worker scheduler, epochs fan
+//! out over scoped threads exactly like every other scheduler client.
+//!
+//! ## Observability
+//!
+//! [`Fleet::observed`] registers a fleet-level metric family under a
+//! prefix (default contract used by the soak and bench: `serve`):
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `sessions` | gauge | live sessions (high water = peak) |
+//! | `admitted` / `evicted` | counter | session lifecycle totals |
+//! | `epochs` | counter | scheduling epochs driven |
+//! | `steps` | counter | real pipeline steps run |
+//! | `emitted` | counter | frames that cleared a whole chain |
+//! | `shed` | counter | oversubscribed steps shed into concealment |
+//! | `rejected` | counter | demand rejected by backpressure |
+//! | `step_ns` | histogram | per-step wall time (p99 = the bench's latency row) |
+//! | `epoch_ns` | histogram | per-epoch wall time |
+//!
+//! Each admitted session is additionally instrumented as
+//! `{prefix}.s{id}.{stage-index}.{stage}.{metric}` via
+//! [`Pipeline::instrument`], so one registry scrape sees the whole
+//! fleet at both granularities. Without the crate's `obs` feature all
+//! recording compiles out, exactly like the per-stage instrumentation.
+
+#![cfg_attr(
+    not(feature = "obs"),
+    allow(unused_variables, unused_imports, dead_code, clippy::unused_self)
+)]
+
+use std::collections::HashMap;
+use std::num::{NonZeroU32, NonZeroUsize};
+use std::time::Instant;
+
+use mindful_core::obs::Registry;
+#[cfg(feature = "obs")]
+use mindful_core::obs::{Counter, Gauge, Histogram};
+use mindful_core::pool::{Scheduler, TaskSlot};
+
+use crate::error::{PipelineError, Result};
+use crate::frame::{Frame, FrameKind};
+use crate::stage::{Pipeline, StageTelemetry};
+
+/// Identifier of an admitted session, unique over the fleet's lifetime
+/// (monotonic — ids are never reused, so a stale id fails loudly as
+/// [`PipelineError::UnknownSession`] instead of touching a successor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// The raw id (what per-session metric prefixes embed as `s{id}`).
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Where an oversubscribed session sheds load: the chain index of its
+/// concealment stage and the frame kind that stage consumes.
+///
+/// The fleet pushes an *empty* frame of `kind` — the pipeline's
+/// in-band gap marker — directly at stage `stage` via
+/// [`Pipeline::push_at`], so the upstream stages are skipped entirely
+/// and the concealer degrades the step under its configured policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedPoint {
+    /// Chain index of the concealment stage.
+    pub stage: usize,
+    /// The data kind that stage consumes (`Codes`, `Counts`, `Values`,
+    /// or `Activations`).
+    pub kind: FrameKind,
+}
+
+impl ShedPoint {
+    /// The gap marker this shed point injects.
+    fn marker(self) -> Frame<'static> {
+        match self.kind {
+            FrameKind::Codes => Frame::Codes(&[]),
+            FrameKind::Counts => Frame::Counts(&[]),
+            FrameKind::Values => Frame::Values(&[]),
+            FrameKind::Activations => Frame::Activations(&[]),
+            // Rejected at admission.
+            _ => Frame::Empty,
+        }
+    }
+
+    fn is_data_kind(self) -> bool {
+        matches!(
+            self.kind,
+            FrameKind::Codes | FrameKind::Counts | FrameKind::Values | FrameKind::Activations
+        )
+    }
+}
+
+/// A session offered to [`Fleet::admit`]: an owned pipeline plus the
+/// session's degradation contract.
+pub struct SessionSpec {
+    pipeline: Pipeline,
+    shed: Option<ShedPoint>,
+}
+
+impl SessionSpec {
+    /// A session around `pipeline` with no shed point: oversubscribed
+    /// demand stays backlogged instead of degrading.
+    #[must_use]
+    pub fn new(pipeline: Pipeline) -> Self {
+        Self {
+            pipeline,
+            shed: None,
+        }
+    }
+
+    /// Declares the session's shed point (builder style): demand beyond
+    /// the per-epoch quantum is pushed as gap markers at chain index
+    /// `stage`, which must be the session's [`crate::ConcealStage`]
+    /// consuming `kind` frames.
+    #[must_use]
+    pub fn with_shed(mut self, stage: usize, kind: FrameKind) -> Self {
+        self.shed = Some(ShedPoint { stage, kind });
+        self
+    }
+}
+
+/// Fleet sizing and fairness knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Maximum concurrent live sessions; [`Fleet::admit`] beyond it
+    /// fails with [`PipelineError::FleetSaturated`].
+    pub capacity: NonZeroUsize,
+    /// Fair per-session step budget per epoch: every session with
+    /// demand runs up to this many real steps each
+    /// [`Fleet::drive_epoch`], which is also the starvation bound — a
+    /// backlogged session always advances at least
+    /// `min(backlog, quantum)` steps per epoch.
+    pub quantum: NonZeroU32,
+    /// Per-session backlog bound: [`Fleet::request`] accepts demand
+    /// only up to this many queued steps and rejects (counts and
+    /// returns) the rest — the backpressure contract.
+    pub max_backlog: u32,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            capacity: NonZeroUsize::new(4096).expect("nonzero"),
+            quantum: NonZeroU32::new(32).expect("nonzero"),
+            max_backlog: 256,
+        }
+    }
+}
+
+/// What one [`Fleet::drive_epoch`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochReport {
+    /// Sessions that had demand this epoch.
+    pub sessions: usize,
+    /// Real pipeline steps run.
+    pub steps: u64,
+    /// Frames that cleared a whole chain.
+    pub emitted: u64,
+    /// Oversubscribed steps shed into concealment.
+    pub shed: u64,
+    /// Sessions that had demand but advanced zero steps — always zero
+    /// unless a session is frozen on an error awaiting eviction.
+    pub starved: usize,
+}
+
+/// A per-session accounting snapshot ([`Fleet::peek`]) or final report
+/// ([`Fleet::evict`]).
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The session.
+    pub id: SessionId,
+    /// Real steps the fleet ran for this session.
+    pub steps: u64,
+    /// Frames that cleared the session's whole chain.
+    pub emitted: u64,
+    /// Steps shed into the session's concealment stage.
+    pub shed: u64,
+    /// Demand rejected by the session's backlog bound.
+    pub rejected: u64,
+    /// Demand still queued.
+    pub backlog: u32,
+    /// Frames flushed out of the chain by the eviction drain (always 0
+    /// in a [`Fleet::peek`] snapshot).
+    pub flushed: u64,
+    /// Per-stage counters, in chain order.
+    pub telemetry: Vec<StageTelemetry>,
+}
+
+/// One live session's state inside its [`TaskSlot`].
+struct SessionState {
+    id: u64,
+    pipeline: Pipeline,
+    shed: Option<ShedPoint>,
+    backlog: u32,
+    steps: u64,
+    emitted: u64,
+    shed_steps: u64,
+    rejected: u64,
+    /// This-epoch counters, reset by the ready scan.
+    epoch_steps: u32,
+    epoch_emitted: u32,
+    epoch_shed: u32,
+    /// A stage error freezes the session until it is evicted. The
+    /// error itself is handed back through [`Fleet::drive_epoch`];
+    /// `failed` keeps the freeze in force afterwards.
+    error: Option<PipelineError>,
+    failed: bool,
+}
+
+impl SessionState {
+    fn report(&self, flushed: u64) -> SessionReport {
+        SessionReport {
+            id: SessionId(self.id),
+            steps: self.steps,
+            emitted: self.emitted,
+            shed: self.shed_steps,
+            rejected: self.rejected,
+            backlog: self.backlog,
+            flushed,
+            telemetry: self.pipeline.telemetry(),
+        }
+    }
+}
+
+/// Fleet-level registry handles (the `{prefix}.{metric}` family).
+#[derive(Debug)]
+struct FleetObs {
+    #[cfg(feature = "obs")]
+    sessions: Gauge,
+    #[cfg(feature = "obs")]
+    admitted: Counter,
+    #[cfg(feature = "obs")]
+    evicted: Counter,
+    #[cfg(feature = "obs")]
+    epochs: Counter,
+    #[cfg(feature = "obs")]
+    steps: Counter,
+    #[cfg(feature = "obs")]
+    emitted: Counter,
+    #[cfg(feature = "obs")]
+    shed: Counter,
+    #[cfg(feature = "obs")]
+    rejected: Counter,
+    #[cfg(feature = "obs")]
+    step_ns: Histogram,
+    #[cfg(feature = "obs")]
+    epoch_ns: Histogram,
+}
+
+impl FleetObs {
+    fn register(registry: &Registry, prefix: &str) -> Self {
+        #[cfg(feature = "obs")]
+        {
+            Self {
+                sessions: registry.gauge(&format!("{prefix}.sessions")),
+                admitted: registry.counter(&format!("{prefix}.admitted")),
+                evicted: registry.counter(&format!("{prefix}.evicted")),
+                epochs: registry.counter(&format!("{prefix}.epochs")),
+                steps: registry.counter(&format!("{prefix}.steps")),
+                emitted: registry.counter(&format!("{prefix}.emitted")),
+                shed: registry.counter(&format!("{prefix}.shed")),
+                rejected: registry.counter(&format!("{prefix}.rejected")),
+                step_ns: registry.histogram(&format!("{prefix}.step_ns")),
+                epoch_ns: registry.histogram(&format!("{prefix}.epoch_ns")),
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            Self {}
+        }
+    }
+
+    #[inline]
+    fn record_step(&self, nanos: u64) {
+        #[cfg(feature = "obs")]
+        self.step_ns.record(nanos);
+    }
+}
+
+/// A dynamic multi-session serving fleet: a client of a shared
+/// [`Scheduler`], owner of nothing but sessions.
+///
+/// See the module docs for the scheduling, backpressure, and
+/// load-shedding contracts.
+pub struct Fleet<'a> {
+    scheduler: &'a Scheduler,
+    config: FleetConfig,
+    slots: Vec<TaskSlot<Option<SessionState>>>,
+    /// Vacant slot indices (eviction leaves holes; admission refills).
+    free: Vec<usize>,
+    /// Slot index per live session id.
+    index: HashMap<u64, usize>,
+    /// Reused ready list — the warm path never reallocates it.
+    ready: Vec<usize>,
+    next_id: u64,
+    epochs: u64,
+    observe: Option<(&'a Registry, String)>,
+    obs: Option<FleetObs>,
+}
+
+impl<'a> Fleet<'a> {
+    /// An unobserved fleet scheduling onto `scheduler`.
+    #[must_use]
+    pub fn new(scheduler: &'a Scheduler, config: FleetConfig) -> Self {
+        Self {
+            scheduler,
+            config,
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            ready: Vec::new(),
+            next_id: 0,
+            epochs: 0,
+            observe: None,
+            obs: None,
+        }
+    }
+
+    /// A fleet recording into `registry` under `prefix` (fleet metrics
+    /// as `{prefix}.{metric}`, each admitted session instrumented under
+    /// `{prefix}.s{id}`).
+    #[must_use]
+    pub fn observed(
+        scheduler: &'a Scheduler,
+        config: FleetConfig,
+        registry: &'a Registry,
+        prefix: &str,
+    ) -> Self {
+        let mut fleet = Self::new(scheduler, config);
+        fleet.obs = Some(FleetObs::register(registry, prefix));
+        fleet.observe = Some((registry, prefix.to_string()));
+        fleet
+    }
+
+    /// Live session count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no sessions are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Scheduling epochs driven so far.
+    #[must_use]
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The scheduler this fleet enqueues on.
+    #[must_use]
+    pub fn scheduler(&self) -> &'a Scheduler {
+        self.scheduler
+    }
+
+    /// Admits a session and returns its id.
+    ///
+    /// When the fleet is observed, the session's pipeline is
+    /// instrumented under `{prefix}.s{id}` before its first step.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec's shed point names a stage index outside
+    /// the pipeline — like [`Pipeline::push_at`], shedding into a
+    /// stage that does not exist is a caller bug.
+    ///
+    /// # Errors
+    ///
+    /// * [`PipelineError::FleetSaturated`] at
+    ///   [`FleetConfig::capacity`] live sessions.
+    /// * [`PipelineError::Empty`] for a stage-less pipeline.
+    /// * [`PipelineError::UnexpectedFrame`] when the shed point's kind
+    ///   is not a concealable data kind.
+    pub fn admit(&mut self, spec: SessionSpec) -> Result<SessionId> {
+        if self.index.len() >= self.config.capacity.get() {
+            return Err(PipelineError::FleetSaturated {
+                capacity: self.config.capacity.get(),
+            });
+        }
+        if spec.pipeline.is_empty() {
+            return Err(PipelineError::Empty);
+        }
+        if let Some(shed) = spec.shed {
+            if !shed.is_data_kind() {
+                return Err(PipelineError::UnexpectedFrame {
+                    stage: "fleet-shed",
+                    actual: shed.kind,
+                });
+            }
+            assert!(
+                shed.stage < spec.pipeline.len(),
+                "shed point {} out of bounds for {} stages",
+                shed.stage,
+                spec.pipeline.len()
+            );
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut pipeline = spec.pipeline;
+        if let Some((registry, prefix)) = &self.observe {
+            pipeline.instrument(registry, &format!("{prefix}.s{id}"));
+        }
+        let state = SessionState {
+            id,
+            pipeline,
+            shed: spec.shed,
+            backlog: 0,
+            steps: 0,
+            emitted: 0,
+            shed_steps: 0,
+            rejected: 0,
+            epoch_steps: 0,
+            epoch_emitted: 0,
+            epoch_shed: 0,
+            error: None,
+            failed: false,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                *self.slots[slot].get_mut() = Some(state);
+                slot
+            }
+            None => {
+                self.slots.push(TaskSlot::new(Some(state)));
+                self.slots.len() - 1
+            }
+        };
+        self.index.insert(id, slot);
+        #[cfg(feature = "obs")]
+        if let Some(obs) = &self.obs {
+            obs.admitted.increment();
+            obs.sessions.set(self.index.len() as u64);
+        }
+        Ok(SessionId(id))
+    }
+
+    /// Queues `steps` of demand for a session, returning how many were
+    /// accepted.
+    ///
+    /// Acceptance is capped so the session's backlog never exceeds
+    /// [`FleetConfig::max_backlog`]; the remainder is rejected,
+    /// counted (per session and in the `rejected` fleet counter), and
+    /// reported back — the caller's backpressure signal.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::UnknownSession`] for an unknown or evicted id.
+    pub fn request(&mut self, id: SessionId, steps: u32) -> Result<u32> {
+        let slot = self.slot_of(id)?;
+        let state = self.slots[slot]
+            .get_mut()
+            .as_mut()
+            .expect("indexed slots hold a session");
+        let room = self.config.max_backlog.saturating_sub(state.backlog);
+        let accepted = steps.min(room);
+        state.backlog += accepted;
+        let rejected = u64::from(steps - accepted);
+        state.rejected += rejected;
+        #[cfg(feature = "obs")]
+        if let Some(obs) = &self.obs {
+            if rejected > 0 {
+                obs.rejected.add(rejected);
+            }
+        }
+        Ok(accepted)
+    }
+
+    /// Runs one scheduling epoch over every session with demand.
+    ///
+    /// Each ready session advances up to [`FleetConfig::quantum`] real
+    /// steps (work-stolen across the scheduler's workers), then sheds
+    /// any remaining backlog into its [`ShedPoint`] if it has one.
+    /// Sessions without a shed point keep their remainder backlogged
+    /// for the next epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stage error in session-slot order. The
+    /// erroring session is frozen (it runs no further steps and keeps
+    /// its backlog) until [`Fleet::evict`] removes it; other sessions
+    /// are unaffected, and the epoch's accounting still covers the
+    /// steps that ran.
+    pub fn drive_epoch(&mut self) -> Result<EpochReport> {
+        self.ready.clear();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(state) = slot.get_mut() {
+                state.epoch_steps = 0;
+                state.epoch_emitted = 0;
+                state.epoch_shed = 0;
+                if state.backlog > 0 && !state.failed {
+                    self.ready.push(i);
+                }
+            }
+        }
+        let quantum = self.config.quantum.get();
+        let obs = &self.obs;
+        let epoch_start = Instant::now();
+        self.scheduler
+            .dispatch(&self.slots, &self.ready, |_, entry| {
+                let Some(state) = entry.as_mut() else {
+                    return;
+                };
+                let run = state.backlog.min(quantum);
+                for _ in 0..run {
+                    let t = Instant::now();
+                    match state.pipeline.step() {
+                        Ok(out) => {
+                            if out.is_some() {
+                                state.epoch_emitted += 1;
+                            }
+                        }
+                        Err(e) => {
+                            state.error = Some(e);
+                            state.failed = true;
+                            break;
+                        }
+                    }
+                    if let Some(obs) = obs {
+                        obs.record_step(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                    }
+                    state.epoch_steps += 1;
+                    state.backlog -= 1;
+                }
+                if !state.failed && state.backlog > 0 {
+                    if let Some(shed) = state.shed {
+                        while state.backlog > 0 {
+                            match state.pipeline.push_at(shed.stage, shed.marker()) {
+                                Ok(out) => {
+                                    if out.is_some() {
+                                        state.epoch_emitted += 1;
+                                    }
+                                }
+                                Err(e) => {
+                                    state.error = Some(e);
+                                    state.failed = true;
+                                    break;
+                                }
+                            }
+                            state.epoch_shed += 1;
+                            state.backlog -= 1;
+                        }
+                    }
+                }
+            });
+        let epoch_nanos = u64::try_from(epoch_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.epochs += 1;
+
+        let mut report = EpochReport {
+            sessions: self.ready.len(),
+            ..EpochReport::default()
+        };
+        let mut error = None;
+        // Split the borrow: the ready list is read-only here.
+        let (slots, ready) = (&mut self.slots, &self.ready);
+        for &i in ready {
+            let state = slots[i]
+                .get_mut()
+                .as_mut()
+                .expect("ready slots hold a session");
+            state.steps += u64::from(state.epoch_steps);
+            state.emitted += u64::from(state.epoch_emitted);
+            state.shed_steps += u64::from(state.epoch_shed);
+            report.steps += u64::from(state.epoch_steps);
+            report.emitted += u64::from(state.epoch_emitted);
+            report.shed += u64::from(state.epoch_shed);
+            if state.epoch_steps == 0 && state.epoch_shed == 0 {
+                report.starved += 1;
+            }
+            if error.is_none() && state.error.is_some() {
+                error = state.error.take();
+            }
+        }
+        #[cfg(feature = "obs")]
+        if let Some(obs) = &self.obs {
+            obs.epochs.increment();
+            obs.steps.add(report.steps);
+            obs.emitted.add(report.emitted);
+            obs.shed.add(report.shed);
+            obs.epoch_ns.record(epoch_nanos);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = epoch_nanos;
+        match error {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    /// A point-in-time accounting snapshot of a live session
+    /// (`flushed` is always 0 — nothing is drained).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::UnknownSession`] for an unknown or evicted id.
+    pub fn peek(&mut self, id: SessionId) -> Result<SessionReport> {
+        let slot = self.slot_of(id)?;
+        let state = self.slots[slot]
+            .get_mut()
+            .as_ref()
+            .expect("indexed slots hold a session");
+        Ok(state.report(0))
+    }
+
+    /// Evicts a session: removes it from scheduling, drains its
+    /// pipeline end-of-stream ([`Pipeline::finish`] — windows mid-fill
+    /// flush their partial contents), and returns the final report
+    /// with the drain's flushed-frame count.
+    ///
+    /// The session is removed even when the drain fails; a queued
+    /// backlog is simply dropped (it was never run, and the `backlog`
+    /// field of the report records how much).
+    ///
+    /// # Errors
+    ///
+    /// * [`PipelineError::UnknownSession`] for an unknown or evicted
+    ///   id.
+    /// * The first stage error raised by the drain (the session is
+    ///   still removed).
+    pub fn evict(&mut self, id: SessionId) -> Result<SessionReport> {
+        let slot = self.slot_of(id)?;
+        let mut state = self.slots[slot]
+            .get_mut()
+            .take()
+            .expect("indexed slots hold a session");
+        self.index.remove(&id.raw());
+        self.free.push(slot);
+        #[cfg(feature = "obs")]
+        if let Some(obs) = &self.obs {
+            obs.evicted.increment();
+            obs.sessions.set(self.index.len() as u64);
+        }
+        let flushed = state.pipeline.finish()?;
+        Ok(state.report(flushed))
+    }
+
+    fn slot_of(&self, id: SessionId) -> Result<usize> {
+        self.index
+            .get(&id.raw())
+            .copied()
+            .ok_or(PipelineError::UnknownSession { id: id.raw() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{ConcealStage, DegradePolicy};
+    use crate::stages::{BinStage, IntentSchedule, PacketizeStage, SenseStage};
+    use crate::stream::StreamSet;
+
+    fn scheduler(workers: usize) -> Scheduler {
+        Scheduler::new(NonZeroUsize::new(workers).unwrap())
+    }
+
+    fn sense_chain(seed: u64) -> Pipeline {
+        Pipeline::new()
+            .with_stage(SenseStage::new(2, 16, 10, seed, IntentSchedule::FigureEight).unwrap())
+            .with_stage(PacketizeStage::new(10).unwrap())
+    }
+
+    /// sense → conceal chain whose conceal stage (index 1) is the shed
+    /// point. A 2×2 grid senses 4 channels.
+    fn sheddable_chain(seed: u64) -> SessionSpec {
+        let pipeline = Pipeline::new()
+            .with_stage(SenseStage::new(2, 16, 10, seed, IntentSchedule::FigureEight).unwrap())
+            .with_stage(ConcealStage::new(4, DegradePolicy::HoldLast).unwrap());
+        SessionSpec::new(pipeline).with_shed(1, FrameKind::Codes)
+    }
+
+    /// Source stage emitting a fixed-width events frame every step
+    /// (what a [`BinStage`] consumes).
+    struct EventSource(usize);
+
+    impl crate::Stage for EventSource {
+        fn name(&self) -> &'static str {
+            "events"
+        }
+
+        fn process(
+            &mut self,
+            _input: &Frame<'_>,
+            out: &mut crate::FrameBuf,
+        ) -> Result<crate::StageOutput> {
+            let events = out.begin_events();
+            events.extend((0..self.0).map(|c| c.is_multiple_of(2)));
+            Ok(crate::StageOutput::Emitted)
+        }
+    }
+
+    fn config(quantum: u32, backlog: u32) -> FleetConfig {
+        FleetConfig {
+            quantum: NonZeroU32::new(quantum).unwrap(),
+            max_backlog: backlog,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_session_fleet_matches_a_standalone_stream_set() {
+        let sched = scheduler(1);
+        let mut fleet = Fleet::new(&sched, config(8, 64));
+        let id = fleet.admit(SessionSpec::new(sense_chain(7))).unwrap();
+        assert_eq!(fleet.request(id, 24).unwrap(), 24);
+        while fleet.peek(id).unwrap().backlog > 0 {
+            fleet.drive_epoch().unwrap();
+        }
+        let report = fleet.evict(id).unwrap();
+
+        let mut set = StreamSet::build(1, |_| Ok(sense_chain(7))).unwrap();
+        let baseline = &set.drive(24, NonZeroUsize::MIN).unwrap()[0];
+
+        assert_eq!(report.steps, baseline.steps);
+        assert_eq!(report.emitted, baseline.emitted);
+        assert_eq!(report.telemetry.len(), baseline.telemetry.len());
+        for (a, b) in report.telemetry.iter().zip(&baseline.telemetry) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.frames_in, b.frames_in);
+            assert_eq!(a.frames_out, b.frames_out);
+            assert_eq!(a.bytes_out, b.bytes_out, "byte-identical wire output");
+        }
+    }
+
+    #[test]
+    fn admission_is_bounded_and_ids_are_never_reused() {
+        let sched = scheduler(1);
+        let mut fleet = Fleet::new(
+            &sched,
+            FleetConfig {
+                capacity: NonZeroUsize::new(2).unwrap(),
+                ..FleetConfig::default()
+            },
+        );
+        let a = fleet.admit(SessionSpec::new(sense_chain(1))).unwrap();
+        let b = fleet.admit(SessionSpec::new(sense_chain(2))).unwrap();
+        assert_ne!(a, b);
+        assert!(matches!(
+            fleet.admit(SessionSpec::new(sense_chain(3))),
+            Err(PipelineError::FleetSaturated { capacity: 2 })
+        ));
+        fleet.evict(a).unwrap();
+        let c = fleet.admit(SessionSpec::new(sense_chain(3))).unwrap();
+        assert_ne!(c, a, "slot is reused, id is not");
+        assert!(matches!(
+            fleet.peek(a),
+            Err(PipelineError::UnknownSession { .. })
+        ));
+        assert_eq!(fleet.len(), 2);
+    }
+
+    #[test]
+    fn admission_validates_the_spec() {
+        let sched = scheduler(1);
+        let mut fleet = Fleet::new(&sched, FleetConfig::default());
+        assert!(matches!(
+            fleet.admit(SessionSpec::new(Pipeline::new())),
+            Err(PipelineError::Empty)
+        ));
+        assert!(matches!(
+            fleet.admit(SessionSpec::new(sense_chain(1)).with_shed(1, FrameKind::Bytes)),
+            Err(PipelineError::UnexpectedFrame {
+                stage: "fleet-shed",
+                ..
+            })
+        ));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = fleet.admit(SessionSpec::new(sense_chain(1)).with_shed(9, FrameKind::Codes));
+        }));
+        assert!(result.is_err(), "out-of-bounds shed point is a caller bug");
+    }
+
+    #[test]
+    fn backpressure_caps_the_backlog_and_counts_rejections() {
+        let sched = scheduler(1);
+        let mut fleet = Fleet::new(&sched, config(4, 10));
+        let id = fleet.admit(SessionSpec::new(sense_chain(5))).unwrap();
+        assert_eq!(fleet.request(id, 6).unwrap(), 6);
+        assert_eq!(fleet.request(id, 6).unwrap(), 4, "only room for 4 more");
+        assert_eq!(fleet.request(id, 6).unwrap(), 0, "backlog full");
+        let report = fleet.peek(id).unwrap();
+        assert_eq!(report.backlog, 10);
+        assert_eq!(report.rejected, 8);
+        // Draining restores room.
+        fleet.drive_epoch().unwrap();
+        assert_eq!(fleet.peek(id).unwrap().backlog, 6);
+        assert_eq!(fleet.request(id, 100).unwrap(), 4);
+    }
+
+    #[test]
+    fn every_backlogged_session_advances_each_epoch() {
+        for workers in [1, 4] {
+            let sched = scheduler(workers);
+            let mut fleet = Fleet::new(&sched, config(2, 64));
+            let ids: Vec<SessionId> = (0..17)
+                .map(|s| fleet.admit(SessionSpec::new(sense_chain(s))).unwrap())
+                .collect();
+            for &id in &ids {
+                fleet.request(id, 10).unwrap();
+            }
+            let before: Vec<u64> = ids
+                .iter()
+                .map(|&id| fleet.peek(id).unwrap().steps)
+                .collect();
+            let report = fleet.drive_epoch().unwrap();
+            assert_eq!(report.sessions, 17);
+            assert_eq!(report.starved, 0, "{workers} workers");
+            assert_eq!(report.steps, 17 * 2, "quantum steps each");
+            for (&id, &b) in ids.iter().zip(&before) {
+                let after = fleet.peek(id).unwrap().steps;
+                assert_eq!(after, b + 2, "fair quantum for {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversubscription_sheds_into_concealment_with_exact_accounting() {
+        let sched = scheduler(2);
+        // Quantum 3 but backlog up to 10: the remainder must shed.
+        let mut fleet = Fleet::new(&sched, config(3, 10));
+        let id = fleet.admit(sheddable_chain(11)).unwrap();
+        let plain = fleet.admit(SessionSpec::new(sense_chain(12))).unwrap();
+        fleet.request(id, 10).unwrap();
+        fleet.request(plain, 10).unwrap();
+        let report = fleet.drive_epoch().unwrap();
+        assert_eq!(report.steps, 6, "3 real steps each");
+        assert_eq!(report.shed, 7, "sheddable session degrades its rest");
+
+        let shed_report = fleet.peek(id).unwrap();
+        assert_eq!(shed_report.steps, 3);
+        assert_eq!(shed_report.shed, 7);
+        assert_eq!(shed_report.backlog, 0, "shedding clears the backlog");
+        // Field-exact: every shed step is a concealed (degraded) frame
+        // in the conceal stage's own telemetry — no other fault field
+        // moves.
+        let conceal = shed_report.telemetry.last().unwrap();
+        let faults = conceal.faults.expect("conceal stage is fault-aware");
+        assert_eq!(faults.degraded, 7);
+        assert_eq!(faults.quarantined, 0);
+        assert_eq!(faults.lost, 0);
+        // The sense stage never ran the shed steps: real steps only.
+        assert_eq!(shed_report.telemetry[0].frames_in, 3);
+        assert_eq!(conceal.frames_in, 10, "3 real + 7 shed");
+
+        // The plain session keeps its remainder backlogged instead.
+        let plain_report = fleet.peek(plain).unwrap();
+        assert_eq!(plain_report.steps, 3);
+        assert_eq!(plain_report.shed, 0);
+        assert_eq!(plain_report.backlog, 7);
+    }
+
+    #[test]
+    fn eviction_mid_drain_flushes_partial_windows() {
+        let sched = scheduler(1);
+        let mut fleet = Fleet::new(&sched, config(8, 64));
+        // events → bin(4): 6 steps leave 2 frames mid-window.
+        let pipeline = Pipeline::new()
+            .with_stage(EventSource(16))
+            .with_stage(BinStage::new(16, 4).unwrap());
+        let id = fleet.admit(SessionSpec::new(pipeline)).unwrap();
+        fleet.request(id, 6).unwrap();
+        fleet.drive_epoch().unwrap();
+        let report = fleet.evict(id).unwrap();
+        assert_eq!(report.steps, 6);
+        assert_eq!(report.emitted, 1, "one full window emitted live");
+        assert_eq!(report.flushed, 1, "the mid-fill window drains on evict");
+        let bin = report.telemetry.last().unwrap();
+        assert_eq!(bin.frames_out, 2, "live window + flushed partial");
+    }
+
+    #[test]
+    fn a_failing_session_freezes_without_stalling_the_fleet() {
+        let sched = scheduler(1);
+        let mut fleet = Fleet::new(&sched, config(4, 64));
+        // Conceal alone consumes its own gap predictions... but a
+        // width-mismatched conceal fails on the first sensed frame.
+        let bad = Pipeline::new()
+            .with_stage(SenseStage::new(2, 16, 10, 1, IntentSchedule::FigureEight).unwrap())
+            .with_stage(ConcealStage::new(8, DegradePolicy::ZeroFill).unwrap());
+        let bad_id = fleet.admit(SessionSpec::new(bad)).unwrap();
+        let good_id = fleet.admit(SessionSpec::new(sense_chain(2))).unwrap();
+        fleet.request(bad_id, 4).unwrap();
+        fleet.request(good_id, 4).unwrap();
+        assert!(
+            fleet.drive_epoch().is_err(),
+            "first epoch surfaces the error"
+        );
+        assert_eq!(
+            fleet.peek(good_id).unwrap().steps,
+            4,
+            "healthy session still ran its quantum"
+        );
+        // The frozen session no longer schedules; the fleet stays live.
+        fleet.request(good_id, 4).unwrap();
+        let report = fleet.drive_epoch().unwrap();
+        assert_eq!(report.sessions, 1);
+        assert_eq!(fleet.peek(bad_id).unwrap().steps, 0);
+        // Eviction drains what it can and removes the session either way.
+        let _ = fleet.evict(bad_id);
+        assert_eq!(fleet.len(), 1);
+    }
+
+    #[test]
+    fn fleet_metrics_land_under_the_prefix() {
+        let sched = scheduler(1);
+        let registry = Registry::new();
+        let mut fleet = Fleet::observed(&sched, config(2, 8), &registry, "serve");
+        let id = fleet.admit(sheddable_chain(9)).unwrap();
+        fleet.request(id, 8).unwrap();
+        fleet.request(id, 8).unwrap(); // 8 rejected
+        fleet.drive_epoch().unwrap();
+        fleet.evict(id).unwrap();
+
+        #[cfg(feature = "obs")]
+        {
+            let snap = registry.snapshot();
+            assert_eq!(snap.counter("serve.admitted"), Some(1));
+            assert_eq!(snap.counter("serve.evicted"), Some(1));
+            assert_eq!(snap.counter("serve.epochs"), Some(1));
+            assert_eq!(snap.counter("serve.steps"), Some(2));
+            assert_eq!(snap.counter("serve.shed"), Some(6));
+            assert_eq!(snap.counter("serve.rejected"), Some(8));
+            let (live, peak) = snap.gauge("serve.sessions").unwrap();
+            assert_eq!(live, 0);
+            assert_eq!(peak, 1);
+            let steps = snap.histogram("serve.step_ns").unwrap();
+            assert_eq!(steps.count, 2, "one sample per real step");
+            // Per-session prefix: the sense stage of session 0.
+            assert_eq!(snap.counter("serve.s0.0.sense.frames_in"), Some(2));
+            // Shed steps surface field-exactly on the session's conceal
+            // gauges.
+            let (degraded, _) = snap.gauge("serve.s0.1.conceal.faults.degraded").unwrap();
+            assert_eq!(degraded, 6);
+        }
+    }
+
+    #[test]
+    fn multi_worker_epochs_match_serial_accounting() {
+        let run = |workers: usize| {
+            let sched = scheduler(workers);
+            let mut fleet = Fleet::new(&sched, config(4, 64));
+            let ids: Vec<SessionId> = (0..13)
+                .map(|s| fleet.admit(sheddable_chain(100 + s)).unwrap())
+                .collect();
+            for &id in &ids {
+                fleet.request(id, 7).unwrap();
+            }
+            fleet.drive_epoch().unwrap();
+            fleet.drive_epoch().unwrap();
+            ids.iter()
+                .map(|&id| {
+                    let r = fleet.peek(id).unwrap();
+                    (
+                        r.steps,
+                        r.emitted,
+                        r.shed,
+                        r.telemetry.last().unwrap().faults.unwrap().degraded,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4), "scheduling never changes the outputs");
+    }
+}

@@ -255,20 +255,56 @@ impl Pipeline {
     /// Returns [`PipelineError::Empty`] for a stage-less pipeline and
     /// propagates the first stage error.
     pub fn push(&mut self, input: Frame<'_>) -> Result<Option<&FrameBuf>> {
+        self.push_at(0, input)
+    }
+
+    /// Feeds `input` directly to stage `start`, skipping stages
+    /// `..start`, and cascades through the rest of the chain.
+    ///
+    /// The skipped stages run nothing and record nothing — their
+    /// telemetry, buffers, and windows are untouched. This is the
+    /// load-shedding entry point: the fleet serving layer pushes an
+    /// *empty* typed frame (the in-band gap marker) straight at an
+    /// oversubscribed session's `ConcealStage`, which conceals it
+    /// through its degraded mode exactly as it would a lost link
+    /// frame, at none of the upstream stages' cost. `push_at(0, f)` is
+    /// [`Pipeline::push`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start` is out of bounds for a non-empty pipeline —
+    /// shedding into a stage that does not exist is a caller bug, not
+    /// a runtime condition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Empty`] for a stage-less pipeline and
+    /// propagates the first stage error.
+    pub fn push_at(&mut self, start: usize, input: Frame<'_>) -> Result<Option<&FrameBuf>> {
         if self.slots.is_empty() {
             return Err(PipelineError::Empty);
         }
+        assert!(
+            start < self.slots.len(),
+            "push_at target {start} out of bounds for {} stages",
+            self.slots.len()
+        );
         self.steps += 1;
-        for i in 0..self.slots.len() {
+        for i in start..self.slots.len() {
             let (before, rest) = self.slots.split_at_mut(i);
             let slot = &mut rest[0];
-            let frame = match before.last() {
-                None => input,
-                Some(prev) => prev.out.as_frame(),
+            let frame = if i == start {
+                input
+            } else {
+                before
+                    .last()
+                    .expect("stages after the entry point follow an emitting slot")
+                    .out
+                    .as_frame()
             };
-            let start = Instant::now();
+            let t = Instant::now();
             let outcome = slot.stage.process(&frame, &mut slot.out)?;
-            let elapsed = start.elapsed();
+            let elapsed = t.elapsed();
             slot.telemetry.record(elapsed, outcome, &slot.out);
             slot.telemetry.faults = slot.stage.fault_telemetry();
             slot.telemetry.secure = slot.stage.secure_telemetry();
@@ -483,6 +519,39 @@ mod tests {
         let mut p = Pipeline::new().with_stage(Doubler);
         let out = p.push(Frame::Codes(&[3, 5])).unwrap().unwrap();
         assert_eq!(out.as_frame(), Frame::Codes(&[6, 10]));
+    }
+
+    #[test]
+    fn push_at_skips_upstream_stages_without_touching_them() {
+        let mut p = Pipeline::new()
+            .with_stage(CounterSource(10))
+            .with_stage(Doubler);
+        // Shed straight into the doubler: the counter neither runs nor
+        // records, so its next emitted code is still the first one.
+        let out = p.push_at(1, Frame::Codes(&[4])).unwrap().unwrap();
+        assert_eq!(out.as_frame(), Frame::Codes(&[8]));
+        let t = p.telemetry();
+        assert_eq!(t[0].frames_in, 0, "skipped stage records nothing");
+        assert_eq!(t[1].frames_in, 1);
+        assert_eq!(p.steps(), 1, "a shed step still counts as a step");
+        let out = p.step().unwrap().unwrap();
+        assert_eq!(out.as_frame(), Frame::Codes(&[20]), "counter untouched");
+    }
+
+    #[test]
+    fn push_at_zero_is_push_and_bad_targets_fail() {
+        let mut p = Pipeline::new().with_stage(Doubler);
+        let out = p.push_at(0, Frame::Codes(&[3])).unwrap().unwrap();
+        assert_eq!(out.as_frame(), Frame::Codes(&[6]));
+        let mut empty = Pipeline::new();
+        assert!(matches!(
+            empty.push_at(0, Frame::Empty),
+            Err(PipelineError::Empty)
+        ));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = p.push_at(5, Frame::Empty);
+        }));
+        assert!(result.is_err(), "out-of-bounds target is a caller bug");
     }
 
     #[test]

@@ -1,10 +1,15 @@
-//! Fanning independent streams over the shared worker pool.
+//! Fanning independent streams over the shared scheduler.
 //!
 //! Host-side serving runs many implant streams at once (one per
 //! patient-device link). Each stream gets its own [`Pipeline`] built by
-//! a caller-supplied factory, the set fans over
-//! [`mindful_core::pool::par_map`] with deterministic, order-preserving
-//! chunking, and each stream comes back with its per-stage telemetry.
+//! a caller-supplied factory, and the set runs as a *client* of the
+//! shared [`mindful_core::pool::Scheduler`] — it owns pipelines, never
+//! workers. Dispatch is deterministic, order-preserving chunking
+//! ([`mindful_core::pool::par_map_mut`]), and each stream comes back
+//! with its per-stage telemetry. For dynamic admission, eviction,
+//! backpressure, and load shedding over the same scheduler, see the
+//! fleet layer ([`crate::serve`]), which generalizes this set to
+//! heterogeneous sessions.
 
 use std::num::NonZeroUsize;
 
@@ -109,44 +114,43 @@ impl StreamSet {
     }
 
     /// Drives every stream for `steps` steps, fanned over up to
-    /// `threads` scoped workers (contiguous chunks, so scheduling never
-    /// reorders the reports).
+    /// `threads` workers of the shared scheduler (contiguous chunks,
+    /// so scheduling never reorders the reports).
+    ///
+    /// The set no longer owns the chunking or the threads — it is a
+    /// client of the shared [`mindful_core::pool::Scheduler`] via
+    /// [`pool::par_map_mut`], which preserves the exact pre-refactor
+    /// chunk math, so reports are byte-identical to earlier releases.
     ///
     /// # Errors
     ///
     /// Returns the first stage error in stream order.
     pub fn drive(&mut self, steps: usize, threads: NonZeroUsize) -> Result<Vec<StreamReport>> {
-        let n = self.pipelines.len();
-        let workers = threads.get().min(n);
-        if workers <= 1 {
-            return self
-                .pipelines
-                .iter_mut()
-                .enumerate()
-                .map(|(stream, pipeline)| drive_one(stream, pipeline, steps))
-                .collect();
-        }
-        let chunk = n.div_ceil(workers);
-        let mut results: Vec<Option<Result<StreamReport>>> = Vec::with_capacity(n);
-        results.resize_with(n, || None);
-        std::thread::scope(|scope| {
-            for (ci, (pipes, out)) in self
-                .pipelines
-                .chunks_mut(chunk)
-                .zip(results.chunks_mut(chunk))
-                .enumerate()
-            {
-                let base = ci * chunk;
-                scope.spawn(move || {
-                    for (j, (pipeline, slot)) in pipes.iter_mut().zip(out.iter_mut()).enumerate() {
-                        *slot = Some(drive_one(base + j, pipeline, steps));
-                    }
-                });
-            }
-        });
-        results
+        pool::par_map_mut(&mut self.pipelines, threads, |stream, pipeline| {
+            drive_one(stream, pipeline, steps)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// [`StreamSet::drive`] as a client of an explicit `scheduler`,
+    /// using its full worker budget; byte-identical at the same worker
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stage error in stream order.
+    pub fn drive_on(
+        &mut self,
+        steps: usize,
+        scheduler: &mindful_core::pool::Scheduler,
+    ) -> Result<Vec<StreamReport>> {
+        let threads = scheduler.workers();
+        scheduler
+            .map_mut_with(&mut self.pipelines, threads, |stream, pipeline| {
+                drive_one(stream, pipeline, steps)
+            })
             .into_iter()
-            .map(|slot| slot.expect("every slot is written by exactly one worker"))
             .collect()
     }
 }
@@ -228,6 +232,65 @@ mod tests {
                 assert_eq!(ta.bytes_out, tb.bytes_out);
             }
         }
+    }
+
+    #[test]
+    fn drive_handles_zero_streams() {
+        let mut set = StreamSet::build(0, build).unwrap();
+        assert_eq!(set.len(), 0);
+        assert!(set.is_empty());
+        let reports = set.drive(10, NonZeroUsize::new(8).unwrap()).unwrap();
+        assert!(reports.is_empty(), "zero streams drive to zero reports");
+    }
+
+    #[test]
+    fn drive_handles_a_single_stream_on_many_workers() {
+        let mut solo = StreamSet::build(1, build).unwrap();
+        let many = solo.drive(7, NonZeroUsize::new(64).unwrap()).unwrap();
+        let mut serial = StreamSet::build(1, build).unwrap();
+        let one = serial.drive(7, NonZeroUsize::MIN).unwrap();
+        assert_eq!(many.len(), 1);
+        assert_eq!(many[0].stream, 0);
+        assert_eq!(many[0].emitted, one[0].emitted);
+        assert_eq!(
+            many[0].telemetry[0].frames_in,
+            one[0].telemetry[0].frames_in
+        );
+    }
+
+    #[test]
+    fn drive_with_more_workers_than_streams_matches_serial() {
+        let mut wide = StreamSet::build(3, build).unwrap();
+        let wide_reports = wide.drive(9, NonZeroUsize::new(32).unwrap()).unwrap();
+        let mut narrow = StreamSet::build(3, build).unwrap();
+        let narrow_reports = narrow.drive(9, NonZeroUsize::MIN).unwrap();
+        for (a, b) in wide_reports.iter().zip(&narrow_reports) {
+            assert_eq!(a.stream, b.stream);
+            assert_eq!(a.emitted, b.emitted);
+            for (ta, tb) in a.telemetry.iter().zip(&b.telemetry) {
+                assert_eq!(ta.frames_in, tb.frames_in);
+                assert_eq!(ta.frames_out, tb.frames_out);
+                assert_eq!(ta.bytes_out, tb.bytes_out);
+            }
+        }
+    }
+
+    #[test]
+    fn drive_on_matches_drive_at_the_same_worker_count() {
+        let mut via_threads = StreamSet::build(4, build).unwrap();
+        let a = via_threads.drive(6, NonZeroUsize::new(2).unwrap()).unwrap();
+        let mut via_scheduler = StreamSet::build(4, build).unwrap();
+        let scheduler = mindful_core::pool::Scheduler::new(NonZeroUsize::new(2).unwrap());
+        let b = via_scheduler.drive_on(6, &scheduler).unwrap();
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.stream, rb.stream);
+            assert_eq!(ra.emitted, rb.emitted);
+            for (ta, tb) in ra.telemetry.iter().zip(&rb.telemetry) {
+                assert_eq!(ta.frames_out, tb.frames_out);
+                assert_eq!(ta.bytes_out, tb.bytes_out);
+            }
+        }
+        assert_eq!(scheduler.stats().tasks, 4);
     }
 
     #[test]

@@ -34,7 +34,7 @@ const RTT: u64 = 2;
 fn soak_steps() -> usize {
     // CI short mode: enough steps to exercise every fault kind and a
     // few NAK/backoff cycles, without the full ten-thousand-step run.
-    if mindful_core::env::flag("MINDFUL_SOAK_QUICK", false) {
+    if mindful_core::env::soak_quick() {
         1_500
     } else {
         10_000

@@ -220,6 +220,88 @@ fn warm_instrumented_five_stage_chain_is_allocation_free() {
     }
 }
 
+/// The serving tentpole's memory contract: a warm [`Fleet`] epoch —
+/// ready-list scan, serial dispatch, real steps, load shedding into
+/// concealment, backpressure rejections, and metric recording — runs
+/// with **zero** heap allocations.
+///
+/// The proof is on a one-worker scheduler deliberately: multi-worker
+/// epochs spawn scoped threads (which allocate stacks by design), but
+/// the per-session step path they execute is exactly this serial path,
+/// so proving the serial epoch allocation-free proves the work itself
+/// is.
+#[test]
+fn warm_fleet_epoch_is_allocation_free() {
+    use std::num::{NonZeroU32, NonZeroUsize};
+
+    let _guard = MEASURE.lock().unwrap();
+    let registry = mindful_core::obs::Registry::new();
+    let sched = mindful_core::pool::Scheduler::new(NonZeroUsize::MIN);
+    let config = FleetConfig {
+        capacity: NonZeroUsize::new(8).unwrap(),
+        quantum: NonZeroU32::new(4).unwrap(),
+        max_backlog: 16,
+    };
+    let mut fleet = Fleet::observed(&sched, config, &registry, "zfleet");
+    // One plain chain (backlogged under pressure, rejections at the
+    // cap) and one sheddable chain (gap markers into its concealer
+    // every epoch): both warm paths sit inside the measured region.
+    let plain = fleet
+        .admit(SessionSpec::new(
+            Pipeline::new()
+                .with_stage(SenseStage::new(2, 16, 10, 3, IntentSchedule::FigureEight).unwrap())
+                .with_stage(PacketizeStage::new(10).unwrap()),
+        ))
+        .unwrap();
+    let shedding = fleet
+        .admit(
+            SessionSpec::new(
+                Pipeline::new()
+                    .with_stage(SenseStage::new(2, 16, 10, 4, IntentSchedule::FigureEight).unwrap())
+                    .with_stage(ConcealStage::new(4, DegradePolicy::HoldLast).unwrap()),
+            )
+            .with_shed(1, FrameKind::Codes),
+        )
+        .unwrap();
+
+    // Warm-up: grow the ready list, pipeline buffers, and backlog to
+    // steady state (the plain session saturates its bound and starts
+    // rejecting; the sheddable one sheds every epoch).
+    for _ in 0..5 {
+        fleet.request(plain, 8).unwrap();
+        fleet.request(shedding, 8).unwrap();
+        fleet.drive_epoch().unwrap();
+    }
+
+    let allocs = allocations_during(|| {
+        for _ in 0..8 {
+            fleet.request(plain, 8).unwrap();
+            fleet.request(shedding, 8).unwrap();
+            fleet.drive_epoch().unwrap();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "a warm fleet epoch must not allocate: scheduling, stepping, \
+         shedding, and metric recording all reuse warm state"
+    );
+
+    // The degraded and rejected paths really ran inside the measured
+    // region.
+    let shed_report = fleet.evict(shedding).unwrap();
+    assert!(shed_report.shed >= 8 * 4, "every measured epoch shed");
+    let plain_report = fleet.evict(plain).unwrap();
+    assert!(
+        plain_report.rejected > 0,
+        "backpressure rejected at the cap"
+    );
+    assert_eq!(
+        plain_report.backlog,
+        config.max_backlog - config.quantum.get(),
+        "steady state: the bound fills each round, one quantum drains"
+    );
+}
+
 /// The secure-link chain of the authenticated-framing PR: sense →
 /// packetize → authenticated ARQ link (seal + NH/SipHash MAC verify +
 /// replay window) → neural firewall — allocation-free once the link's
