@@ -13,8 +13,13 @@
 //! paths are timed in interleaved pairs so frequency drift cancels out
 //! of the medians. The headline rows — `sessions_per_sec` and the p99
 //! per-step latency scraped from the fleet's own `serve.step_ns`
-//! registry histogram — land in `results/bench/BENCH_serve.json`. Set
-//! `MINDFUL_BENCH_QUICK=1` (as CI does) to shrink iteration counts.
+//! registry histogram, plus per-class (`realtime` / `best_effort`)
+//! sessions/sec, p99, and deadline-miss rows — land in
+//! `results/bench/BENCH_serve.json`. A second paired measurement pins
+//! the clock-syscall fix: an unobserved, budget-less fleet epoch
+//! (which must time nothing per step) may never run slower than the
+//! observed epoch beyond noise. Set `MINDFUL_BENCH_QUICK=1` (as CI
+//! does) to shrink iteration counts.
 
 use std::hint::black_box;
 use std::num::{NonZeroU32, NonZeroUsize};
@@ -64,6 +69,12 @@ fn frames(width: usize) -> Vec<Vec<f32>> {
         .collect()
 }
 
+/// Realtime sessions in the classed fleet (the rest are best-effort).
+const REALTIME_SESSIONS: usize = SESSIONS / 2;
+/// The paper's ~500 µs per-sample motor-decode deadline, used as the
+/// realtime sessions' per-step budget.
+const RT_DEADLINE_NS: u64 = 500_000;
+
 fn config() -> FleetConfig {
     FleetConfig {
         capacity: NonZeroUsize::new(SESSIONS).expect("non-zero"),
@@ -71,11 +82,24 @@ fn config() -> FleetConfig {
         // measures throughput, the soak owns the fairness contracts.
         quantum: NonZeroU32::new(STEPS).expect("non-zero"),
         max_backlog: STEPS,
+        ..FleetConfig::default()
     }
+}
+
+/// One replay→DNN session chain off the shared weight set.
+fn session_spec(net: &Arc<Network>, replay: &[Vec<f32>]) -> SessionSpec {
+    SessionSpec::new(
+        Pipeline::new()
+            .with_stage(ReplaySource::new(replay.to_vec()).expect("frames"))
+            .with_stage(DnnStage::shared(Arc::clone(net), 10).expect("dnn stage")),
+    )
 }
 
 /// Builds the benchmarked fleet: SESSIONS replay→DNN sessions sharing
 /// one weight set, observed so the per-step latency histogram fills.
+/// The first half are realtime-class with the paper's per-step
+/// deadline budget; the rest ride along best-effort, so the per-class
+/// serving rows both fill.
 fn build_fleet<'a>(
     scheduler: &'a Scheduler,
     registry: &'a Registry,
@@ -85,13 +109,33 @@ fn build_fleet<'a>(
 ) -> (Fleet<'a>, Vec<SessionId>) {
     let mut fleet = Fleet::observed(scheduler, config(), registry, prefix);
     let ids = (0..SESSIONS)
+        .map(|s| {
+            let spec = if s < REALTIME_SESSIONS {
+                session_spec(net, replay)
+                    .with_class(PriorityClass::Realtime)
+                    .with_deadline_ns(RT_DEADLINE_NS)
+            } else {
+                session_spec(net, replay)
+            };
+            fleet.admit(spec).expect("admission under capacity")
+        })
+        .collect();
+    (fleet, ids)
+}
+
+/// Builds the obs-off twin: same sessions, no registry, no deadline
+/// budgets — the configuration whose epoch hot path must make no
+/// clock syscalls at all.
+fn build_unobserved_fleet<'a>(
+    scheduler: &'a Scheduler,
+    net: &Arc<Network>,
+    replay: &[Vec<f32>],
+) -> (Fleet<'a>, Vec<SessionId>) {
+    let mut fleet = Fleet::new(scheduler, config());
+    let ids = (0..SESSIONS)
         .map(|_| {
             fleet
-                .admit(SessionSpec::new(
-                    Pipeline::new()
-                        .with_stage(ReplaySource::new(replay.to_vec()).expect("frames"))
-                        .with_stage(DnnStage::shared(Arc::clone(net), 10).expect("dnn stage")),
-                ))
+                .admit(session_spec(net, replay))
                 .expect("admission under capacity")
         })
         .collect();
@@ -182,6 +226,27 @@ fn report_serve_acceptance(_c: &mut Criterion) {
     let sessions_per_sec = SESSIONS as f64 / (fleet_ns / 1e9);
     let steps_per_sec = f64::from(STEPS) * SESSIONS as f64 / (fleet_ns / 1e9);
 
+    // Satellite pin for the clock-syscall fix: an unobserved,
+    // budget-less fleet epoch times nothing per step, so it must never
+    // run slower than the observed epoch beyond measurement noise.
+    let (mut unobserved, unobserved_ids) = build_unobserved_fleet(&fleet_sched, &net, &replay);
+    assert_eq!(run_epoch(&mut unobserved, &unobserved_ids), per_epoch);
+    let (unobserved_ns, observed_ns) = paired_median_ns(
+        iters,
+        || {
+            black_box(run_epoch(&mut unobserved, &unobserved_ids));
+        },
+        || {
+            black_box(run_epoch(&mut fleet, &ids));
+        },
+    );
+    let obs_overhead = observed_ns / unobserved_ns;
+    assert!(
+        unobserved_ns <= observed_ns * 1.15,
+        "the obs-off epoch must not pay for timing it never records: \
+         unobserved {unobserved_ns:.0} ns vs observed {observed_ns:.0} ns"
+    );
+
     // The latency row is a registry scrape, not a separate stopwatch:
     // the fleet's own `serve.step_ns` histogram over every measured
     // (and warm-up) step.
@@ -195,6 +260,27 @@ fn report_serve_acceptance(_c: &mut Criterion) {
     let p99_step_ns = step_ns
         .quantile_upper_bound(0.99)
         .expect("non-empty histogram");
+    // Per-class serving rows: both classes ran every epoch, so both
+    // class histograms are non-empty and the per-class throughput is
+    // the class's session count over the same epoch wall time.
+    let rt_p99_step_ns = snapshot
+        .histogram("serve.realtime.step_ns")
+        .expect("registered per-class histogram")
+        .quantile_upper_bound(0.99)
+        .expect("realtime sessions stepped");
+    let be_p99_step_ns = snapshot
+        .histogram("serve.best_effort.step_ns")
+        .expect("registered per-class histogram")
+        .quantile_upper_bound(0.99)
+        .expect("best-effort sessions stepped");
+    let rt_sessions_per_sec = REALTIME_SESSIONS as f64 / (fleet_ns / 1e9);
+    let be_sessions_per_sec = (SESSIONS - REALTIME_SESSIONS) as f64 / (fleet_ns / 1e9);
+    let rt_deadline_misses = snapshot
+        .counter("serve.realtime.deadline_misses")
+        .expect("registered per-class counter");
+    let be_deadline_misses = snapshot
+        .counter("serve.best_effort.deadline_misses")
+        .expect("registered per-class counter");
 
     let host = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
     println!(
@@ -229,13 +315,25 @@ fn report_serve_acceptance(_c: &mut Criterion) {
          \"host_parallelism\": {host},\n  \
          \"fleet_ns_per_epoch\": {fleet_ns:.0},\n  \
          \"sequential_ns_per_epoch\": {sequential_ns:.0},\n  \
+         \"unobserved_ns_per_epoch\": {unobserved_ns:.0},\n  \
+         \"obs_overhead\": {obs_overhead:.3},\n  \
          \"speedup\": {speedup:.3},\n  \
          \"sessions_per_sec\": {sessions_per_sec:.1},\n  \
          \"steps_per_sec\": {steps_per_sec:.1},\n  \
          \"p50_step_ns\": {p50_step_ns},\n  \
-         \"p99_step_ns\": {p99_step_ns}\n}}\n",
+         \"p99_step_ns\": {p99_step_ns},\n  \
+         \"realtime_sessions\": {REALTIME_SESSIONS},\n  \
+         \"realtime_sessions_per_sec\": {rt_sessions_per_sec:.1},\n  \
+         \"realtime_p99_step_ns\": {rt_p99_step_ns},\n  \
+         \"realtime_deadline_ns\": {RT_DEADLINE_NS},\n  \
+         \"realtime_deadline_misses\": {rt_deadline_misses},\n  \
+         \"best_effort_sessions\": {},\n  \
+         \"best_effort_sessions_per_sec\": {be_sessions_per_sec:.1},\n  \
+         \"best_effort_p99_step_ns\": {be_p99_step_ns},\n  \
+         \"best_effort_deadline_misses\": {be_deadline_misses}\n}}\n",
         quick(),
         workers.get(),
+        SESSIONS - REALTIME_SESSIONS,
     ));
 }
 

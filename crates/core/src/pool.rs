@@ -416,21 +416,59 @@ impl Scheduler {
         T: Send,
         F: Fn(usize, &mut T) + Sync,
     {
+        let steals = self.dispatch_phase(slots, ready, &run);
+        self.account(ready.len(), steals);
+    }
+
+    /// One epoch of *phased* work-stealing dispatch: the phases run
+    /// strictly in order — every task of phase `p` completes before any
+    /// task of phase `p + 1` starts — while tasks *within* a phase keep
+    /// the full steal-balanced claiming of [`Scheduler::dispatch`].
+    ///
+    /// This is the priority-class discipline the fleet serving layer
+    /// uses: each phase is one priority class's ready list, so a
+    /// realtime session can never be delayed behind best-effort work,
+    /// yet workers still steal freely inside a class. The barrier
+    /// between phases is the scoped-thread join itself. The whole call
+    /// accounts as **one** scheduling epoch (tasks and steals summed
+    /// over the phases); empty phases cost nothing. With one worker
+    /// every phase runs inline in ready order — phased serial dispatch
+    /// is exactly concatenated serial dispatch, which is what makes
+    /// fleet accounting worker-count invariant.
+    pub fn dispatch_phased<T, F>(&self, slots: &[TaskSlot<T>], phases: &[&[usize]], run: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let mut tasks = 0_usize;
+        let mut steals = 0_u64;
+        for ready in phases {
+            tasks += ready.len();
+            steals += self.dispatch_phase(slots, ready, &run);
+        }
+        self.account(tasks, steals);
+    }
+
+    /// Runs one dispatch phase (shared by [`Scheduler::dispatch`] and
+    /// [`Scheduler::dispatch_phased`]) and returns its steal count.
+    fn dispatch_phase<T, F>(&self, slots: &[TaskSlot<T>], ready: &[usize], run: &F) -> u64
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
         let n = ready.len();
         let workers = self.workers.get().min(n);
         if workers <= 1 {
-            self.account(n, 0);
             for &idx in ready {
                 run(idx, &mut slots[idx].lock());
             }
-            return;
+            return 0;
         }
         // Fair share per worker; claims beyond it are steals.
         let share = n.div_ceil(workers);
         let cursor = AtomicUsize::new(0);
         let stolen = AtomicU64::new(0);
         std::thread::scope(|scope| {
-            let run = &run;
             let cursor = &cursor;
             let stolen = &stolen;
             for _ in 0..workers {
@@ -452,7 +490,7 @@ impl Scheduler {
                 });
             }
         });
-        self.account(n, stolen.load(Ordering::Relaxed));
+        stolen.load(Ordering::Relaxed)
     }
 }
 
@@ -678,6 +716,87 @@ mod tests {
             stats.steals >= 2,
             "the free worker stole the straggler's share (got {})",
             stats.steals
+        );
+    }
+
+    #[test]
+    fn phased_dispatch_is_a_strict_barrier_between_phases() {
+        use std::sync::atomic::AtomicUsize;
+        // Phase 1 tasks sleep; phase 2 tasks assert every phase-1 task
+        // already ran. Any overlap across the barrier trips the assert.
+        for workers in [1, 2, 4] {
+            let scheduler = Scheduler::new(threads(workers));
+            let slots: Vec<TaskSlot<u64>> = (0..12).map(|_| TaskSlot::new(0)).collect();
+            let first: Vec<usize> = (0..6).collect();
+            let second: Vec<usize> = (6..12).collect();
+            let done_first = AtomicUsize::new(0);
+            scheduler.dispatch_phased(&slots, &[&first, &second], |idx, count| {
+                if idx < 6 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    done_first.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    assert_eq!(
+                        done_first.load(Ordering::Relaxed),
+                        6,
+                        "phase 2 task {idx} ran before phase 1 drained ({workers} workers)"
+                    );
+                }
+                *count += 1;
+            });
+            for (i, slot) in slots.iter().enumerate() {
+                assert_eq!(*slot.lock(), 1, "slot {i} ran exactly once");
+            }
+            let stats = scheduler.stats();
+            assert_eq!(stats.epochs, 1, "phases account as one epoch");
+            assert_eq!(stats.tasks, 12);
+        }
+    }
+
+    #[test]
+    fn phased_dispatch_matches_sequential_dispatches_and_skips_empty_phases() {
+        let scheduler = Scheduler::new(threads(3));
+        let slots: Vec<TaskSlot<u64>> = (0..9).map(|_| TaskSlot::new(0)).collect();
+        let high = [0_usize, 3];
+        let low: Vec<usize> = vec![1, 4, 7];
+        scheduler.dispatch_phased(&slots, &[&high, &[], &low], |idx, count| {
+            *count += idx as u64 + 1;
+        });
+        for (i, slot) in slots.iter().enumerate() {
+            let expect = if high.contains(&i) || low.contains(&i) {
+                i as u64 + 1
+            } else {
+                0
+            };
+            assert_eq!(*slot.lock(), expect, "slot {i}");
+        }
+        let stats = scheduler.stats();
+        assert_eq!(stats.epochs, 1);
+        assert_eq!(stats.tasks, 5);
+        // An all-empty phased epoch is a no-op apart from accounting.
+        scheduler.dispatch_phased(&slots, &[&[], &[]], |_, _: &mut u64| unreachable!());
+        assert_eq!(scheduler.stats().epochs, 2);
+    }
+
+    #[test]
+    fn phased_dispatch_still_steals_within_a_phase() {
+        // 2 workers over one 8-task phase with a straggler: the free
+        // worker must steal the remainder, exactly like flat dispatch.
+        let scheduler = Scheduler::new(threads(2));
+        let slots: Vec<TaskSlot<u64>> = (0..8).map(|_| TaskSlot::new(0)).collect();
+        let ready: Vec<usize> = (0..slots.len()).collect();
+        scheduler.dispatch_phased(&slots, &[&ready], |idx, count| {
+            if idx == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            *count += 1;
+        });
+        for slot in &slots {
+            assert_eq!(*slot.lock(), 1);
+        }
+        assert!(
+            scheduler.stats().steals >= 2,
+            "steal balance survives inside a phase (got {})",
+            scheduler.stats().steals
         );
     }
 

@@ -49,6 +49,7 @@ use mindful_dnn::models::{
 };
 use mindful_dnn::quant::{Precision, QuantizedNetwork};
 use mindful_pipeline::prelude::*;
+use mindful_pipeline::ClassReport;
 use mindful_plot::{AsciiTable, Csv};
 use mindful_rf::fault::{FaultConfig, FaultPlan};
 
@@ -179,29 +180,39 @@ impl MeasuredStreaming {
     }
 }
 
-/// Measured dynamic-fleet serving for one model family: the serving
-/// layer's [`Fleet`] admitting independent sessions over the shared
-/// scheduler, deliberately oversubscribed each epoch so the
-/// load-shedding path (gap markers into the concealment stage) is part
-/// of the measurement, not a footnote.
+/// Measured dynamic-fleet serving for one model family and one
+/// priority class: the serving layer's [`Fleet`] admitting a mixed
+/// realtime / interactive / best-effort population over the shared
+/// scheduler, with the best-effort majority deliberately
+/// oversubscribed each epoch so the load-shedding path (gap markers
+/// into the concealment stage) is part of the measurement, not a
+/// footnote. The realtime sessions carry the family's per-sample
+/// deadline as their step budget, so the row also reports how often
+/// the measured host missed it.
 #[derive(Debug, Clone)]
 pub struct MeasuredFleet {
     /// Model family.
     pub family: ModelFamily,
-    /// Concurrent sessions admitted.
+    /// The priority class this row accounts.
+    pub class: PriorityClass,
+    /// Concurrent sessions of this class admitted.
     pub sessions: usize,
     /// Scheduler workers the fleet fanned over.
     pub workers: usize,
     /// Scheduling epochs timed.
     pub epochs: u64,
-    /// Real pipeline steps run across all timed epochs.
+    /// Real pipeline steps run for this class across all timed epochs.
     pub steps: u64,
-    /// Oversubscribed steps shed into concealment.
+    /// Oversubscribed steps shed into concealment for this class.
     pub shed: u64,
-    /// Frames the sessions' conceal stages report as degraded — must
+    /// Real steps that ran past the class's per-session deadline
+    /// budget (only realtime sessions carry one).
+    pub deadline_misses: u64,
+    /// Frames the class's conceal stages report as degraded — must
     /// equal `shed` exactly (the field-exact accounting contract).
     pub degraded: u64,
-    /// Wall time across the timed epochs.
+    /// Wall time across the timed epochs (shared by every class row of
+    /// one family: the classes are served inside the same epochs).
     pub elapsed: TimeSpan,
 }
 
@@ -445,8 +456,22 @@ fn measure_streaming() -> Result<Vec<MeasuredStreaming>> {
     Ok(streaming)
 }
 
+/// Realtime motor-decode sessions per family (the family's per-sample
+/// deadline as their step budget).
+const FLEET_RT_SESSIONS: usize = 2;
+
+/// Interactive monitor sessions per family.
+const FLEET_IA_SESSIONS: usize = 2;
+
+/// Best-effort bulk sessions per family — the oversubscribed,
+/// sheddable majority.
+const FLEET_BE_SESSIONS: usize = 4;
+
 /// Concurrent sessions the fleet study admits per family.
-const FLEET_SESSIONS: usize = 4;
+const FLEET_SESSIONS: usize = FLEET_RT_SESSIONS + FLEET_IA_SESSIONS + FLEET_BE_SESSIONS;
+
+/// Sessions per class, indexed by [`PriorityClass::index`].
+const FLEET_CLASS_SESSIONS: [usize; 3] = [FLEET_RT_SESSIONS, FLEET_IA_SESSIONS, FLEET_BE_SESSIONS];
 
 /// Timed oversubscribed epochs per family.
 const FLEET_EPOCHS: u64 = 4;
@@ -454,19 +479,21 @@ const FLEET_EPOCHS: u64 = 4;
 /// Per-session scheduling quantum: real steps served each epoch.
 const FLEET_QUANTUM: u32 = 8;
 
-/// Per-session demand queued each timed epoch. The excess over the
+/// Best-effort demand queued each timed epoch. The excess over the
 /// quantum is shed into concealment, so every timed epoch exercises
-/// both the decode path and the degraded path.
+/// both the decode path and the degraded path. Realtime and
+/// interactive sessions request exactly their quantum and never shed.
 const FLEET_DEMAND: u32 = 12;
 
-/// Admits each decoder family's sessions to a dynamic [`Fleet`] and
-/// times oversubscribed serving epochs: every epoch each session queues
-/// [`FLEET_DEMAND`] frames but is served only its [`FLEET_QUANTUM`], so
-/// the excess is shed as gap markers that the concealment stage
-/// degrades while the quantum's worth decodes for real. The warm-up
-/// epoch requests exactly one quantum (nothing sheds), so the conceal
+/// Admits each decoder family's mixed-class population to a dynamic
+/// [`Fleet`] and times oversubscribed serving epochs: realtime and
+/// interactive sessions queue exactly one [`FLEET_QUANTUM`] each, the
+/// best-effort majority queues [`FLEET_DEMAND`] and has its excess
+/// shed as gap markers that the concealment stage degrades while the
+/// quantum's worth decodes for real. The warm-up epoch requests
+/// exactly one quantum everywhere (nothing sheds), so the conceal
 /// stages' degraded counts afterwards mirror the timed sheds
-/// field-exactly.
+/// field-exactly. One row lands per family × class.
 fn measure_fleet() -> Result<Vec<MeasuredFleet>> {
     let workers = default_threads();
     let scheduler = Scheduler::new(workers);
@@ -476,60 +503,87 @@ fn measure_fleet() -> Result<Vec<MeasuredFleet>> {
         let net = Arc::new(Network::with_seeded_weights(arch, 7));
         let width = net.architecture().input_values() as usize;
         let frames = synthetic_frames(width, 8);
+        let deadline_ns = family.deadline().nanoseconds() as u64;
         let config = FleetConfig {
             capacity: NonZeroUsize::new(FLEET_SESSIONS).expect("non-zero"),
             quantum: NonZeroU32::new(FLEET_QUANTUM).expect("non-zero"),
             max_backlog: FLEET_DEMAND + FLEET_QUANTUM,
+            ..FleetConfig::default()
         };
         let mut fleet = Fleet::new(&scheduler, config);
-        let mut ids = Vec::with_capacity(FLEET_SESSIONS);
-        for _ in 0..FLEET_SESSIONS {
-            let spec = SessionSpec::new(
+        let chain = || -> Result<SessionSpec> {
+            Ok(SessionSpec::new(
                 Pipeline::new()
                     .with_stage(ReplaySource::new(frames.clone())?)
                     .with_stage(ConcealStage::new(width, DegradePolicy::HoldLast)?)
                     .with_stage(DnnStage::shared(Arc::clone(&net), 10)?),
-            )
-            .with_shed(1, FrameKind::Activations);
-            ids.push(fleet.admit(spec)?);
+            ))
+        };
+        // (id, class, per-epoch demand): realtime first, then the
+        // monitors, then the sheddable bulk majority.
+        let mut ids: Vec<(SessionId, PriorityClass, u32)> = Vec::with_capacity(FLEET_SESSIONS);
+        for _ in 0..FLEET_RT_SESSIONS {
+            let spec = chain()?
+                .with_class(PriorityClass::Realtime)
+                .with_deadline_ns(deadline_ns);
+            ids.push((fleet.admit(spec)?, PriorityClass::Realtime, FLEET_QUANTUM));
+        }
+        for _ in 0..FLEET_IA_SESSIONS {
+            let spec = chain()?.with_class(PriorityClass::Interactive);
+            ids.push((
+                fleet.admit(spec)?,
+                PriorityClass::Interactive,
+                FLEET_QUANTUM,
+            ));
+        }
+        for _ in 0..FLEET_BE_SESSIONS {
+            let spec = chain()?.with_shed(1, FrameKind::Activations);
+            ids.push((fleet.admit(spec)?, PriorityClass::BestEffort, FLEET_DEMAND));
         }
         // Warm epoch at exactly one quantum: buffers size, workspaces
         // grow, nothing sheds.
-        for &id in &ids {
+        for &(id, _, _) in &ids {
             assert_eq!(fleet.request(id, FLEET_QUANTUM)?, FLEET_QUANTUM);
         }
         fleet.drive_epoch()?;
-        let (mut steps, mut shed) = (0u64, 0u64);
+        let mut by_class = [ClassReport::default(); PriorityClass::COUNT];
         let start = Instant::now();
         for _ in 0..FLEET_EPOCHS {
-            for &id in &ids {
-                assert_eq!(fleet.request(id, FLEET_DEMAND)?, FLEET_DEMAND);
+            for &(id, _, demand) in &ids {
+                assert_eq!(fleet.request(id, demand)?, demand);
             }
             let report = fleet.drive_epoch()?;
-            steps += report.steps;
-            shed += report.shed;
+            for (acc, class) in by_class.iter_mut().zip(report.by_class) {
+                acc.steps += class.steps;
+                acc.shed += class.shed;
+                acc.deadline_misses += class.deadline_misses;
+            }
         }
         let elapsed = start.elapsed();
-        let mut degraded = 0;
-        for id in ids {
+        let mut degraded = [0_u64; PriorityClass::COUNT];
+        for (id, class, _) in ids {
             let report = fleet.evict(id)?;
-            degraded += report
+            degraded[class.index()] += report
                 .telemetry
                 .iter()
                 .filter_map(|t| t.faults)
                 .map(|f| f.degraded)
                 .sum::<u64>();
         }
-        rows.push(MeasuredFleet {
-            family,
-            sessions: FLEET_SESSIONS,
-            workers: workers.get(),
-            epochs: FLEET_EPOCHS,
-            steps,
-            shed,
-            degraded,
-            elapsed: TimeSpan::from_seconds(elapsed.as_secs_f64()),
-        });
+        for (ci, class) in PriorityClass::ALL.into_iter().enumerate() {
+            rows.push(MeasuredFleet {
+                family,
+                class,
+                sessions: FLEET_CLASS_SESSIONS[ci],
+                workers: workers.get(),
+                epochs: FLEET_EPOCHS,
+                steps: by_class[ci].steps,
+                shed: by_class[ci].shed,
+                deadline_misses: by_class[ci].deadline_misses,
+                degraded: degraded[ci],
+                elapsed: TimeSpan::from_seconds(elapsed.as_secs_f64()),
+            });
+        }
     }
     Ok(rows)
 }
@@ -708,43 +762,50 @@ pub fn render(study: &Realtime, dir: &Path) -> Result<Artifacts> {
 
     let mut fleet_csv = Csv::new(&[
         "model",
+        "class",
         "sessions",
         "workers",
         "epochs",
         "steps",
         "shed",
+        "deadline_misses",
         "degraded",
         "us_per_step",
         "sessions_per_sec",
     ]);
     artifacts.report(format!(
-        "\nmeasured fleet serving ({} oversubscribed sessions x {} epochs at \
-         {BASE_CHANNELS} channels, dynamic Fleet over the shared scheduler):",
-        study.fleet.first().map_or(0, |m| m.sessions),
+        "\nmeasured fleet serving ({FLEET_SESSIONS} mixed-class sessions x {} epochs at \
+         {BASE_CHANNELS} channels, priority-scheduled Fleet over the shared scheduler, \
+         realtime rows budgeted at the per-sample deadline):",
         study.fleet.first().map_or(0, |m| m.epochs),
     ));
     for m in &study.fleet {
         fleet_csv.push(&[
             m.family.to_string(),
+            m.class.to_string(),
             m.sessions.to_string(),
             m.workers.to_string(),
             m.epochs.to_string(),
             m.steps.to_string(),
             m.shed.to_string(),
+            m.deadline_misses.to_string(),
             m.degraded.to_string(),
             format!("{:.1}", m.per_step().microseconds()),
             format!("{:.1}", m.sessions_per_sec()),
         ]);
         artifacts.report(format!(
-            "  {}: {:.1} us/step across {} sessions on {} worker(s), \
-             {} steps decoded / {} shed into concealment ({} degraded)",
+            "  {} {}: {:.1} us/step across {} sessions on {} worker(s), \
+             {} steps decoded / {} shed into concealment ({} degraded, \
+             {} deadline misses)",
             m.family,
+            m.class,
             m.per_step().microseconds(),
             m.sessions,
             m.workers,
             m.steps,
             m.shed,
             m.degraded,
+            m.deadline_misses,
         ));
     }
     artifacts.write_file(dir, "realtime_fleet.csv", fleet_csv.as_str())?;
@@ -871,29 +932,55 @@ mod tests {
     #[test]
     fn fleet_serves_every_family_with_field_exact_shed_accounting() {
         let study = study();
-        assert_eq!(study.fleet.len(), ModelFamily::ALL.len());
+        // One row per family × priority class.
+        assert_eq!(
+            study.fleet.len(),
+            ModelFamily::ALL.len() * PriorityClass::COUNT
+        );
         for m in &study.fleet {
             // The oversubscription schedule is deterministic: every
-            // timed epoch serves one quantum per session and sheds the
-            // excess demand.
+            // timed epoch serves one quantum per session; only the
+            // best-effort majority queues excess demand, and only it
+            // sheds.
             assert_eq!(
                 m.steps,
                 m.epochs * m.sessions as u64 * u64::from(FLEET_QUANTUM),
-                "{}",
-                m.family
+                "{} {}",
+                m.family,
+                m.class
             );
-            assert_eq!(
-                m.shed,
-                m.epochs * m.sessions as u64 * u64::from(FLEET_DEMAND - FLEET_QUANTUM),
-                "{}",
-                m.family
-            );
+            let expected_shed = match m.class {
+                PriorityClass::BestEffort => {
+                    m.epochs * m.sessions as u64 * u64::from(FLEET_DEMAND - FLEET_QUANTUM)
+                }
+                _ => 0,
+            };
+            assert_eq!(m.shed, expected_shed, "{} {}", m.family, m.class);
             // Every shed step must surface as exactly one concealed
             // frame in the sessions' own telemetry — the field-exact
             // accounting contract of the serving layer.
-            assert_eq!(m.degraded, m.shed, "{}", m.family);
-            assert!(m.per_step().seconds() > 0.0, "{}", m.family);
-            assert!(m.sessions_per_sec() > 0.0, "{}", m.family);
+            assert_eq!(m.degraded, m.shed, "{} {}", m.family, m.class);
+            // Only realtime sessions carry a deadline budget, so only
+            // they can miss. (How often they do depends on the host;
+            // the count is reported, not gated, here — the priority
+            // soak owns the zero-miss guarantee on its cheap chains.)
+            if m.class != PriorityClass::Realtime {
+                assert_eq!(m.deadline_misses, 0, "{} {}", m.family, m.class);
+            }
+            assert!(m.per_step().seconds() > 0.0, "{} {}", m.family, m.class);
+            assert!(m.sessions_per_sec() > 0.0, "{} {}", m.family, m.class);
+        }
+        // Every class row is present for every family.
+        for family in ModelFamily::ALL {
+            for class in PriorityClass::ALL {
+                assert!(
+                    study
+                        .fleet
+                        .iter()
+                        .any(|m| m.family == family && m.class == class),
+                    "{family} {class} row missing"
+                );
+            }
         }
     }
 

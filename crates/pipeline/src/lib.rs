@@ -54,7 +54,8 @@ pub use frame::{Frame, FrameBuf, FrameKind, StageOutput};
 pub use mindful_dnn::quant::Precision;
 pub use secure::{FirewallConfig, FirewallStage, SecureTelemetry, COHERENCE_SCALE};
 pub use serve::{
-    EpochReport, Fleet, FleetConfig, SessionId, SessionReport, SessionSpec, ShedPoint,
+    ClassReport, EpochReport, Fleet, FleetConfig, PriorityClass, SessionId, SessionReport,
+    SessionSpec, ShedPoint,
 };
 pub use stage::{Pipeline, Stage, StageTelemetry};
 pub use stages::{
@@ -67,7 +68,7 @@ pub use stream::{run_streams, StreamReport, StreamSet};
 pub mod prelude {
     pub use crate::fault::{ConcealStage, DegradePolicy, FaultStage, FaultTelemetry, LinkStage};
     pub use crate::secure::{FirewallConfig, FirewallStage, SecureTelemetry};
-    pub use crate::serve::{Fleet, FleetConfig, SessionId, SessionSpec, ShedPoint};
+    pub use crate::serve::{Fleet, FleetConfig, PriorityClass, SessionId, SessionSpec, ShedPoint};
     pub use crate::stages::{
         BinStage, DnnStage, IntentSchedule, KalmanStage, PacketizeStage, ReplaySource, SenseStage,
         SpikeStage, WienerStage,

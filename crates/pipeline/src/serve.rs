@@ -18,20 +18,41 @@
 //!   by the per-session backlog bound ([`FleetConfig::max_backlog`]) —
 //!   the backpressure contract: excess demand is *rejected at the
 //!   edge*, visibly, rather than ballooning memory.
+//! * Every session carries a [`PriorityClass`] — the paper's
+//!   application-level urgency ladder: a motor-decode stream at the
+//!   ~500 µs per-sample deadline is [`PriorityClass::Realtime`], a
+//!   telemetry-only stream is [`PriorityClass::BestEffort`] — plus an
+//!   optional per-session quantum (the *weight* inside its class) and
+//!   an optional per-step deadline budget in nanoseconds.
 //! * [`Fleet::drive_epoch`] runs one scheduling epoch as a client of a
-//!   shared [`Scheduler`] ([`Scheduler::dispatch`] work-stealing over
-//!   the session slots): every session with demand advances up to the
-//!   fair per-epoch quantum ([`FleetConfig::quantum`]), so no session
-//!   starves no matter how oversubscribed the fleet is.
-//! * Demand beyond the quantum is **load-shed into degraded mode**
-//!   rather than stalled: a session admitted with a [`ShedPoint`] has
-//!   the excess pushed as in-band gap markers (an empty typed frame)
-//!   directly at its [`crate::ConcealStage`] via [`Pipeline::push_at`]
-//!   — skipping the whole upstream chain (the actual cost saving) and
-//!   landing in the concealer's existing degradation policies, where
-//!   every shed step is accounted field-exactly as
-//!   [`crate::FaultTelemetry::degraded`]. Sessions without a shed
-//!   point simply stay backlogged.
+//!   shared [`Scheduler`] ([`Scheduler::dispatch_phased`] — one phase
+//!   per priority class, served strictly high-to-low with
+//!   work-stealing inside each class): every ready session is granted
+//!   up to its quantum ([`SessionSpec::with_quantum`], defaulting to
+//!   [`FleetConfig::quantum`]) out of the epoch's step capacity
+//!   ([`FleetConfig::epoch_capacity`]). Grants are computed serially
+//!   before any worker runs — classes high to low, slot order within a
+//!   class — so when capacity runs out it is always the *lowest*
+//!   classes that go unserved, and the outcome is identical for every
+//!   worker count.
+//! * Demand beyond a session's grant is **load-shed into degraded
+//!   mode** rather than stalled: a session admitted with a
+//!   [`ShedPoint`] has the excess pushed as in-band gap markers (an
+//!   empty typed frame) directly at its [`crate::ConcealStage`] via
+//!   [`Pipeline::push_at`] — skipping the whole upstream chain (the
+//!   actual cost saving) and landing in the concealer's existing
+//!   degradation policies, where every shed step is accounted
+//!   field-exactly as [`crate::FaultTelemetry::degraded`]. Shed work
+//!   is itself bounded per epoch ([`FleetConfig::shed_quantum`]) so a
+//!   pathological backlog cannot monopolize a worker; the remainder —
+//!   and everything queued by sessions without a shed point — stays
+//!   backlogged, keeping the conservation ledger (accepted = stepped +
+//!   shed + backlog) exact.
+//! * A session with a deadline budget ([`SessionSpec::with_deadline_ns`])
+//!   has every real step's wall time checked against it — the same
+//!   measurement that feeds the `step_ns` histograms — and misses are
+//!   accounted per class in [`EpochReport::by_class`], per session in
+//!   [`SessionReport::deadline_misses`], and in the registry.
 //!
 //! The warm per-step path — ready-list scan, dispatch on one worker,
 //! [`Pipeline::step`]/[`Pipeline::push_at`] on warm buffers, metric
@@ -53,14 +74,24 @@
 //! | `emitted` | counter | frames that cleared a whole chain |
 //! | `shed` | counter | oversubscribed steps shed into concealment |
 //! | `rejected` | counter | demand rejected by backpressure |
+//! | `deadline_misses` | counter | steps that ran past their session's budget |
 //! | `step_ns` | histogram | per-step wall time (p99 = the bench's latency row) |
 //! | `epoch_ns` | histogram | per-epoch wall time |
+//!
+//! plus a per-class family under `{prefix}.{class}.{metric}` (classes
+//! are `realtime` / `interactive` / `best_effort`): `steps`, `shed`,
+//! `deadline_misses` counters and a `step_ns` histogram each, so one
+//! scrape answers "did the realtime class ever miss its budget" and
+//! "which class absorbed the shedding" directly.
 //!
 //! Each admitted session is additionally instrumented as
 //! `{prefix}.s{id}.{stage-index}.{stage}.{metric}` via
 //! [`Pipeline::instrument`], so one registry scrape sees the whole
 //! fleet at both granularities. Without the crate's `obs` feature all
 //! recording compiles out, exactly like the per-stage instrumentation.
+//! When observability is off (an unobserved fleet, or the feature
+//! compiled out) and a session has no deadline budget, the per-step
+//! hot path makes **no clock syscalls** at all.
 
 #![cfg_attr(
     not(feature = "obs"),
@@ -68,7 +99,7 @@
 )]
 
 use std::collections::HashMap;
-use std::num::{NonZeroU32, NonZeroUsize};
+use std::num::{NonZeroU32, NonZeroU64, NonZeroUsize};
 use std::time::Instant;
 
 use mindful_core::obs::Registry;
@@ -97,6 +128,62 @@ impl SessionId {
 impl core::fmt::Display for SessionId {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "s{}", self.0)
+    }
+}
+
+/// A session's scheduling urgency: the application-level workload
+/// classes of the paper's serving story, ordered most-urgent first.
+///
+/// [`Fleet::drive_epoch`] serves classes *strictly* high-to-low (one
+/// dispatch phase per class), grants epoch capacity high-to-low, and
+/// therefore sheds oversubscribed demand from the lowest class first.
+/// The discriminant order is the serving order: `Realtime` before
+/// `Interactive` before `BestEffort`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PriorityClass {
+    /// Hard-deadline decode (e.g. motor decode at the ~500 µs
+    /// per-sample application deadline): served first, never behind
+    /// lower-class work.
+    Realtime,
+    /// Latency-sensitive but not deadline-bound (e.g. live monitoring
+    /// dashboards).
+    Interactive,
+    /// Throughput-only traffic (e.g. bulk telemetry upload): first to
+    /// be shed under oversubscription. The default for sessions that
+    /// do not declare a class.
+    #[default]
+    BestEffort,
+}
+
+impl PriorityClass {
+    /// Number of classes (sizes the per-class accounting arrays).
+    pub const COUNT: usize = 3;
+
+    /// Every class, in serving order (most urgent first).
+    pub const ALL: [Self; Self::COUNT] = [Self::Realtime, Self::Interactive, Self::BestEffort];
+
+    /// The class's index into per-class arrays ([`EpochReport::by_class`]),
+    /// 0 = most urgent.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The snake-case label used in per-class metric names
+    /// (`{prefix}.{label}.{metric}`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Realtime => "realtime",
+            Self::Interactive => "interactive",
+            Self::BestEffort => "best_effort",
+        }
+    }
+}
+
+impl core::fmt::Display for PriorityClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -138,20 +225,27 @@ impl ShedPoint {
 }
 
 /// A session offered to [`Fleet::admit`]: an owned pipeline plus the
-/// session's degradation contract.
+/// session's scheduling and degradation contract.
 pub struct SessionSpec {
     pipeline: Pipeline,
     shed: Option<ShedPoint>,
+    class: PriorityClass,
+    quantum: Option<NonZeroU32>,
+    deadline_ns: Option<u64>,
 }
 
 impl SessionSpec {
-    /// A session around `pipeline` with no shed point: oversubscribed
-    /// demand stays backlogged instead of degrading.
+    /// A session around `pipeline` with no shed point (oversubscribed
+    /// demand stays backlogged instead of degrading), best-effort
+    /// class, the fleet's default quantum, and no deadline budget.
     #[must_use]
     pub fn new(pipeline: Pipeline) -> Self {
         Self {
             pipeline,
             shed: None,
+            class: PriorityClass::default(),
+            quantum: None,
+            deadline_ns: None,
         }
     }
 
@@ -164,6 +258,33 @@ impl SessionSpec {
         self.shed = Some(ShedPoint { stage, kind });
         self
     }
+
+    /// Declares the session's [`PriorityClass`] (builder style).
+    #[must_use]
+    pub fn with_class(mut self, class: PriorityClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Declares a per-session quantum — the session's scheduling
+    /// *weight* within its class, overriding [`FleetConfig::quantum`]:
+    /// each epoch grants the session up to this many real steps.
+    #[must_use]
+    pub fn with_quantum(mut self, quantum: NonZeroU32) -> Self {
+        self.quantum = Some(quantum);
+        self
+    }
+
+    /// Declares a per-step deadline budget in nanoseconds: every real
+    /// step whose wall time exceeds it is accounted as a deadline miss
+    /// (per class, per session, and in the registry). The measurement
+    /// is the same one that feeds the `step_ns` histograms; declaring a
+    /// budget forces step timing on even for unobserved fleets.
+    #[must_use]
+    pub fn with_deadline_ns(mut self, budget: u64) -> Self {
+        self.deadline_ns = Some(budget);
+        self
+    }
 }
 
 /// Fleet sizing and fairness knobs.
@@ -172,16 +293,30 @@ pub struct FleetConfig {
     /// Maximum concurrent live sessions; [`Fleet::admit`] beyond it
     /// fails with [`PipelineError::FleetSaturated`].
     pub capacity: NonZeroUsize,
-    /// Fair per-session step budget per epoch: every session with
-    /// demand runs up to this many real steps each
-    /// [`Fleet::drive_epoch`], which is also the starvation bound — a
-    /// backlogged session always advances at least
+    /// Default per-session step budget per epoch, used by sessions
+    /// that declare no quantum of their own
+    /// ([`SessionSpec::with_quantum`]). With unlimited
+    /// [`FleetConfig::epoch_capacity`] this is also the starvation
+    /// bound — a backlogged session always advances at least
     /// `min(backlog, quantum)` steps per epoch.
     pub quantum: NonZeroU32,
     /// Per-session backlog bound: [`Fleet::request`] accepts demand
     /// only up to this many queued steps and rejects (counts and
     /// returns) the rest — the backpressure contract.
     pub max_backlog: u32,
+    /// Per-session bound on shed work per epoch: at most this many
+    /// backlogged steps are converted to gap markers each
+    /// [`Fleet::drive_epoch`], so one pathological backlog cannot
+    /// monopolize a worker inside the shed loop. The remainder stays
+    /// backlogged (the conservation ledger is unaffected).
+    pub shed_quantum: NonZeroU32,
+    /// Total real-step budget per epoch — the host's compute capacity
+    /// per scheduling tick. Grants are taken from it classes
+    /// high-to-low (slot order within a class), so when demand exceeds
+    /// capacity it is the lowest classes that go unserved and shed.
+    /// `None` (the default) grants every ready session its full
+    /// quantum.
+    pub epoch_capacity: Option<NonZeroU64>,
 }
 
 impl Default for FleetConfig {
@@ -190,8 +325,27 @@ impl Default for FleetConfig {
             capacity: NonZeroUsize::new(4096).expect("nonzero"),
             quantum: NonZeroU32::new(32).expect("nonzero"),
             max_backlog: 256,
+            shed_quantum: NonZeroU32::new(256).expect("nonzero"),
+            epoch_capacity: None,
         }
     }
+}
+
+/// One priority class's slice of an [`EpochReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassReport {
+    /// Sessions of this class that had demand this epoch.
+    pub sessions: usize,
+    /// Real pipeline steps run for this class.
+    pub steps: u64,
+    /// Oversubscribed steps shed into concealment for this class.
+    pub shed: u64,
+    /// Real steps that ran past their session's deadline budget.
+    pub deadline_misses: u64,
+    /// Sessions of this class that had demand but neither stepped nor
+    /// shed (frozen-by-error sessions are *not* counted — an error is
+    /// not starvation).
+    pub starved: usize,
 }
 
 /// What one [`Fleet::drive_epoch`] did.
@@ -205,9 +359,17 @@ pub struct EpochReport {
     pub emitted: u64,
     /// Oversubscribed steps shed into concealment.
     pub shed: u64,
-    /// Sessions that had demand but advanced zero steps — always zero
-    /// unless a session is frozen on an error awaiting eviction.
+    /// Real steps that ran past their session's deadline budget.
+    pub deadline_misses: u64,
+    /// Sessions that had demand but advanced zero steps and shed
+    /// nothing. Sessions frozen by a stage error this epoch are
+    /// excluded — frozen-by-error is not starvation — so with
+    /// unlimited capacity this is always zero; with a bounded
+    /// [`FleetConfig::epoch_capacity`] it counts the (lowest-class,
+    /// shed-point-less) sessions priority left unserved.
     pub starved: usize,
+    /// The per-class breakdown, indexed by [`PriorityClass::index`].
+    pub by_class: [ClassReport; PriorityClass::COUNT],
 }
 
 /// A per-session accounting snapshot ([`Fleet::peek`]) or final report
@@ -216,6 +378,8 @@ pub struct EpochReport {
 pub struct SessionReport {
     /// The session.
     pub id: SessionId,
+    /// The session's priority class.
+    pub class: PriorityClass,
     /// Real steps the fleet ran for this session.
     pub steps: u64,
     /// Frames that cleared the session's whole chain.
@@ -224,6 +388,9 @@ pub struct SessionReport {
     pub shed: u64,
     /// Demand rejected by the session's backlog bound.
     pub rejected: u64,
+    /// Real steps that ran past the session's deadline budget (always
+    /// zero for sessions without one).
+    pub deadline_misses: u64,
     /// Demand still queued.
     pub backlog: u32,
     /// Frames flushed out of the chain by the eviction drain (always 0
@@ -238,15 +405,28 @@ struct SessionState {
     id: u64,
     pipeline: Pipeline,
     shed: Option<ShedPoint>,
+    class: PriorityClass,
+    /// Per-session quantum override (the weight inside the class).
+    quantum: Option<NonZeroU32>,
+    /// Per-step deadline budget in nanoseconds.
+    deadline_ns: Option<u64>,
     backlog: u32,
     steps: u64,
     emitted: u64,
     shed_steps: u64,
     rejected: u64,
-    /// This-epoch counters, reset by the ready scan.
+    deadline_misses: u64,
+    /// This-epoch counters, reset by the ready scan. `epoch_grant` and
+    /// `epoch_shed_grant` are the serially-precomputed allocations the
+    /// worker closure executes — workers never make scheduling
+    /// decisions, which is what keeps accounting worker-count
+    /// invariant.
+    epoch_grant: u32,
+    epoch_shed_grant: u32,
     epoch_steps: u32,
     epoch_emitted: u32,
     epoch_shed: u32,
+    epoch_misses: u32,
     /// A stage error freezes the session until it is evicted. The
     /// error itself is handed back through [`Fleet::drive_epoch`];
     /// `failed` keeps the freeze in force afterwards.
@@ -258,10 +438,12 @@ impl SessionState {
     fn report(&self, flushed: u64) -> SessionReport {
         SessionReport {
             id: SessionId(self.id),
+            class: self.class,
             steps: self.steps,
             emitted: self.emitted,
             shed: self.shed_steps,
             rejected: self.rejected,
+            deadline_misses: self.deadline_misses,
             backlog: self.backlog,
             flushed,
             telemetry: self.pipeline.telemetry(),
@@ -289,9 +471,20 @@ struct FleetObs {
     #[cfg(feature = "obs")]
     rejected: Counter,
     #[cfg(feature = "obs")]
+    deadline_misses: Counter,
+    #[cfg(feature = "obs")]
     step_ns: Histogram,
     #[cfg(feature = "obs")]
     epoch_ns: Histogram,
+    /// Per-class families, indexed by [`PriorityClass::index`].
+    #[cfg(feature = "obs")]
+    class_steps: [Counter; PriorityClass::COUNT],
+    #[cfg(feature = "obs")]
+    class_shed: [Counter; PriorityClass::COUNT],
+    #[cfg(feature = "obs")]
+    class_deadline_misses: [Counter; PriorityClass::COUNT],
+    #[cfg(feature = "obs")]
+    class_step_ns: [Histogram; PriorityClass::COUNT],
 }
 
 impl FleetObs {
@@ -307,8 +500,17 @@ impl FleetObs {
                 emitted: registry.counter(&format!("{prefix}.emitted")),
                 shed: registry.counter(&format!("{prefix}.shed")),
                 rejected: registry.counter(&format!("{prefix}.rejected")),
+                deadline_misses: registry.counter(&format!("{prefix}.deadline_misses")),
                 step_ns: registry.histogram(&format!("{prefix}.step_ns")),
                 epoch_ns: registry.histogram(&format!("{prefix}.epoch_ns")),
+                class_steps: PriorityClass::ALL
+                    .map(|c| registry.counter(&format!("{prefix}.{c}.steps"))),
+                class_shed: PriorityClass::ALL
+                    .map(|c| registry.counter(&format!("{prefix}.{c}.shed"))),
+                class_deadline_misses: PriorityClass::ALL
+                    .map(|c| registry.counter(&format!("{prefix}.{c}.deadline_misses"))),
+                class_step_ns: PriorityClass::ALL
+                    .map(|c| registry.histogram(&format!("{prefix}.{c}.step_ns"))),
             }
         }
         #[cfg(not(feature = "obs"))]
@@ -318,9 +520,12 @@ impl FleetObs {
     }
 
     #[inline]
-    fn record_step(&self, nanos: u64) {
+    fn record_step(&self, class: PriorityClass, nanos: u64) {
         #[cfg(feature = "obs")]
-        self.step_ns.record(nanos);
+        {
+            self.step_ns.record(nanos);
+            self.class_step_ns[class.index()].record(nanos);
+        }
     }
 }
 
@@ -337,10 +542,15 @@ pub struct Fleet<'a> {
     free: Vec<usize>,
     /// Slot index per live session id.
     index: HashMap<u64, usize>,
-    /// Reused ready list — the warm path never reallocates it.
-    ready: Vec<usize>,
+    /// Reused per-class ready lists (slot order within each class) —
+    /// the warm path never reallocates them. Indexed by
+    /// [`PriorityClass::index`]; each list is one dispatch phase.
+    ready: [Vec<usize>; PriorityClass::COUNT],
     next_id: u64,
     epochs: u64,
+    /// Accounting from the most recent epoch — kept even when the
+    /// epoch's `Result` carried a stage error instead of the report.
+    last_epoch: EpochReport,
     observe: Option<(&'a Registry, String)>,
     obs: Option<FleetObs>,
 }
@@ -355,9 +565,10 @@ impl<'a> Fleet<'a> {
             slots: Vec::new(),
             free: Vec::new(),
             index: HashMap::new(),
-            ready: Vec::new(),
+            ready: std::array::from_fn(|_| Vec::new()),
             next_id: 0,
             epochs: 0,
+            last_epoch: EpochReport::default(),
             observe: None,
             obs: None,
         }
@@ -395,6 +606,16 @@ impl<'a> Fleet<'a> {
     #[must_use]
     pub fn epochs(&self) -> u64 {
         self.epochs
+    }
+
+    /// Accounting from the most recent [`Fleet::drive_epoch`] call.
+    ///
+    /// Unlike the epoch's return value, this survives the error path:
+    /// when an epoch surfaces a stage error, the work that *did* run
+    /// (and the per-class breakdown) is still recorded here.
+    #[must_use]
+    pub fn last_epoch(&self) -> &EpochReport {
+        &self.last_epoch
     }
 
     /// The scheduler this fleet enqueues on.
@@ -454,14 +675,21 @@ impl<'a> Fleet<'a> {
             id,
             pipeline,
             shed: spec.shed,
+            class: spec.class,
+            quantum: spec.quantum,
+            deadline_ns: spec.deadline_ns,
             backlog: 0,
             steps: 0,
             emitted: 0,
             shed_steps: 0,
             rejected: 0,
+            deadline_misses: 0,
+            epoch_grant: 0,
+            epoch_shed_grant: 0,
             epoch_steps: 0,
             epoch_emitted: 0,
             epoch_shed: 0,
+            epoch_misses: 0,
             error: None,
             failed: false,
         };
@@ -517,42 +745,112 @@ impl<'a> Fleet<'a> {
 
     /// Runs one scheduling epoch over every session with demand.
     ///
-    /// Each ready session advances up to [`FleetConfig::quantum`] real
-    /// steps (work-stolen across the scheduler's workers), then sheds
-    /// any remaining backlog into its [`ShedPoint`] if it has one.
-    /// Sessions without a shed point keep their remainder backlogged
-    /// for the next epoch.
+    /// The epoch has three strictly ordered parts:
+    ///
+    /// 1. **Grant** (serial): ready sessions are granted real steps —
+    ///    classes high-to-low, slot order within a class — up to each
+    ///    session's quantum ([`SessionSpec::with_quantum`], default
+    ///    [`FleetConfig::quantum`]) and the remaining
+    ///    [`FleetConfig::epoch_capacity`]. Backlog beyond the grant is
+    ///    allotted shed work (bounded by [`FleetConfig::shed_quantum`])
+    ///    for sessions with a [`ShedPoint`].
+    /// 2. **Serve** (parallel): one dispatch phase per class, highest
+    ///    first ([`Scheduler::dispatch_phased`]) — lower-class work
+    ///    never runs while a higher class has granted work pending,
+    ///    and workers steal freely inside a class. Each step of a
+    ///    session with a deadline budget is timed against it; the same
+    ///    measurement feeds the `step_ns` histograms, and when neither
+    ///    is needed (unobserved fleet, no budget) the hot path makes
+    ///    no clock syscalls.
+    /// 3. **Account** (serial): per-session, per-class, and fleet
+    ///    totals — including deadline misses — land in the
+    ///    [`EpochReport`] and the registry.
+    ///
+    /// Because grants are fixed before any worker runs, the epoch's
+    /// accounting is identical for every worker count.
     ///
     /// # Errors
     ///
-    /// Returns the first stage error in session-slot order. The
+    /// Returns the first stage error in class-then-slot order. The
     /// erroring session is frozen (it runs no further steps and keeps
     /// its backlog) until [`Fleet::evict`] removes it; other sessions
     /// are unaffected, and the epoch's accounting still covers the
     /// steps that ran.
     pub fn drive_epoch(&mut self) -> Result<EpochReport> {
-        self.ready.clear();
+        // Ready scan: reset epoch counters, bucket ready sessions by
+        // class (push order = slot order inside each class).
+        for class_ready in &mut self.ready {
+            class_ready.clear();
+        }
         for (i, slot) in self.slots.iter_mut().enumerate() {
             if let Some(state) = slot.get_mut() {
+                state.epoch_grant = 0;
+                state.epoch_shed_grant = 0;
                 state.epoch_steps = 0;
                 state.epoch_emitted = 0;
                 state.epoch_shed = 0;
+                state.epoch_misses = 0;
                 if state.backlog > 0 && !state.failed {
-                    self.ready.push(i);
+                    self.ready[state.class.index()].push(i);
                 }
             }
         }
-        let quantum = self.config.quantum.get();
+
+        // Grant pass: classes high-to-low, slot order within a class.
+        // Serial and deterministic — workers only ever execute the
+        // grants computed here.
+        let default_quantum = self.config.quantum;
+        let shed_quantum = self.config.shed_quantum.get();
+        let mut capacity = self.config.epoch_capacity.map(NonZeroU64::get);
+        {
+            let (slots, ready) = (&mut self.slots, &self.ready);
+            for class_ready in ready {
+                for &i in class_ready {
+                    let state = slots[i]
+                        .get_mut()
+                        .as_mut()
+                        .expect("ready slots hold a session");
+                    let quantum = state.quantum.unwrap_or(default_quantum).get();
+                    let want = state.backlog.min(quantum);
+                    let grant = match capacity.as_mut() {
+                        Some(cap) => {
+                            let grant = want.min(u32::try_from(*cap).unwrap_or(u32::MAX));
+                            *cap -= u64::from(grant);
+                            grant
+                        }
+                        None => want,
+                    };
+                    state.epoch_grant = grant;
+                    state.epoch_shed_grant = if state.shed.is_some() {
+                        (state.backlog - grant).min(shed_quantum)
+                    } else {
+                        0
+                    };
+                }
+            }
+        }
+
+        // Clock discipline: the epoch stopwatch runs only for observed
+        // fleets; per-step stopwatches additionally run for sessions
+        // with a deadline budget. The unobserved, budget-less hot path
+        // makes no clock syscalls at all.
+        #[cfg(feature = "obs")]
+        let obs_on = self.obs.is_some();
+        #[cfg(not(feature = "obs"))]
+        let obs_on = false;
         let obs = &self.obs;
-        let epoch_start = Instant::now();
+        let epoch_start = obs_on.then(Instant::now);
+        let phases: [&[usize]; PriorityClass::COUNT] =
+            std::array::from_fn(|c| self.ready[c].as_slice());
         self.scheduler
-            .dispatch(&self.slots, &self.ready, |_, entry| {
+            .dispatch_phased(&self.slots, &phases, |_, entry| {
                 let Some(state) = entry.as_mut() else {
                     return;
                 };
-                let run = state.backlog.min(quantum);
-                for _ in 0..run {
-                    let t = Instant::now();
+                let timed = obs_on || state.deadline_ns.is_some();
+                let budget = state.deadline_ns.unwrap_or(u64::MAX);
+                for _ in 0..state.epoch_grant {
+                    let t = if timed { Some(Instant::now()) } else { None };
                     match state.pipeline.step() {
                         Ok(out) => {
                             if out.is_some() {
@@ -565,59 +863,75 @@ impl<'a> Fleet<'a> {
                             break;
                         }
                     }
-                    if let Some(obs) = obs {
-                        obs.record_step(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                    if let Some(t) = t {
+                        let nanos = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        if let Some(obs) = obs {
+                            obs.record_step(state.class, nanos);
+                        }
+                        if nanos > budget {
+                            state.epoch_misses += 1;
+                        }
                     }
                     state.epoch_steps += 1;
                     state.backlog -= 1;
                 }
-                if !state.failed && state.backlog > 0 {
-                    if let Some(shed) = state.shed {
-                        while state.backlog > 0 {
-                            match state.pipeline.push_at(shed.stage, shed.marker()) {
-                                Ok(out) => {
-                                    if out.is_some() {
-                                        state.epoch_emitted += 1;
-                                    }
-                                }
-                                Err(e) => {
-                                    state.error = Some(e);
-                                    state.failed = true;
-                                    break;
+                if !state.failed && state.epoch_shed_grant > 0 {
+                    let shed = state.shed.expect("shed grants require a shed point");
+                    for _ in 0..state.epoch_shed_grant {
+                        match state.pipeline.push_at(shed.stage, shed.marker()) {
+                            Ok(out) => {
+                                if out.is_some() {
+                                    state.epoch_emitted += 1;
                                 }
                             }
-                            state.epoch_shed += 1;
-                            state.backlog -= 1;
+                            Err(e) => {
+                                state.error = Some(e);
+                                state.failed = true;
+                                break;
+                            }
                         }
+                        state.epoch_shed += 1;
+                        state.backlog -= 1;
                     }
                 }
             });
-        let epoch_nanos = u64::try_from(epoch_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let epoch_nanos =
+            epoch_start.map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
         self.epochs += 1;
 
-        let mut report = EpochReport {
-            sessions: self.ready.len(),
-            ..EpochReport::default()
-        };
+        let mut report = EpochReport::default();
         let mut error = None;
-        // Split the borrow: the ready list is read-only here.
+        // Split the borrow: the ready lists are read-only here.
         let (slots, ready) = (&mut self.slots, &self.ready);
-        for &i in ready {
-            let state = slots[i]
-                .get_mut()
-                .as_mut()
-                .expect("ready slots hold a session");
-            state.steps += u64::from(state.epoch_steps);
-            state.emitted += u64::from(state.epoch_emitted);
-            state.shed_steps += u64::from(state.epoch_shed);
-            report.steps += u64::from(state.epoch_steps);
-            report.emitted += u64::from(state.epoch_emitted);
-            report.shed += u64::from(state.epoch_shed);
-            if state.epoch_steps == 0 && state.epoch_shed == 0 {
-                report.starved += 1;
-            }
-            if error.is_none() && state.error.is_some() {
-                error = state.error.take();
+        for (ci, class_ready) in ready.iter().enumerate() {
+            let class = &mut report.by_class[ci];
+            class.sessions = class_ready.len();
+            report.sessions += class_ready.len();
+            for &i in class_ready {
+                let state = slots[i]
+                    .get_mut()
+                    .as_mut()
+                    .expect("ready slots hold a session");
+                state.steps += u64::from(state.epoch_steps);
+                state.emitted += u64::from(state.epoch_emitted);
+                state.shed_steps += u64::from(state.epoch_shed);
+                state.deadline_misses += u64::from(state.epoch_misses);
+                class.steps += u64::from(state.epoch_steps);
+                class.shed += u64::from(state.epoch_shed);
+                class.deadline_misses += u64::from(state.epoch_misses);
+                report.steps += u64::from(state.epoch_steps);
+                report.emitted += u64::from(state.epoch_emitted);
+                report.shed += u64::from(state.epoch_shed);
+                report.deadline_misses += u64::from(state.epoch_misses);
+                // A session frozen by a stage error this epoch is not
+                // starved — it was served and failed.
+                if state.epoch_steps == 0 && state.epoch_shed == 0 && !state.failed {
+                    class.starved += 1;
+                    report.starved += 1;
+                }
+                if error.is_none() && state.error.is_some() {
+                    error = state.error.take();
+                }
             }
         }
         #[cfg(feature = "obs")]
@@ -626,10 +940,19 @@ impl<'a> Fleet<'a> {
             obs.steps.add(report.steps);
             obs.emitted.add(report.emitted);
             obs.shed.add(report.shed);
-            obs.epoch_ns.record(epoch_nanos);
+            obs.deadline_misses.add(report.deadline_misses);
+            for (ci, class) in report.by_class.iter().enumerate() {
+                obs.class_steps[ci].add(class.steps);
+                obs.class_shed[ci].add(class.shed);
+                obs.class_deadline_misses[ci].add(class.deadline_misses);
+            }
+            if let Some(nanos) = epoch_nanos {
+                obs.epoch_ns.record(nanos);
+            }
         }
         #[cfg(not(feature = "obs"))]
         let _ = epoch_nanos;
+        self.last_epoch = report;
         match error {
             Some(e) => Err(e),
             None => Ok(report),
@@ -973,6 +1296,19 @@ mod tests {
             assert_eq!(peak, 1);
             let steps = snap.histogram("serve.step_ns").unwrap();
             assert_eq!(steps.count, 2, "one sample per real step");
+            assert_eq!(snap.counter("serve.deadline_misses"), Some(0));
+            // Per-class rows: the session declared no class, so all of
+            // its work lands under the best-effort default and the
+            // other classes stay at zero.
+            assert_eq!(snap.counter("serve.best_effort.steps"), Some(2));
+            assert_eq!(snap.counter("serve.best_effort.shed"), Some(6));
+            assert_eq!(snap.counter("serve.best_effort.deadline_misses"), Some(0));
+            let be_steps = snap.histogram("serve.best_effort.step_ns").unwrap();
+            assert_eq!(be_steps.count, 2);
+            assert_eq!(snap.counter("serve.realtime.steps"), Some(0));
+            assert_eq!(snap.counter("serve.realtime.shed"), Some(0));
+            assert_eq!(snap.histogram("serve.realtime.step_ns").unwrap().count, 0);
+            assert_eq!(snap.counter("serve.interactive.steps"), Some(0));
             // Per-session prefix: the sense stage of session 0.
             assert_eq!(snap.counter("serve.s0.0.sense.frames_in"), Some(2));
             // Shed steps surface field-exactly on the session's conceal
@@ -1008,5 +1344,201 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(4), "scheduling never changes the outputs");
+    }
+
+    #[test]
+    fn higher_classes_are_served_strictly_first_under_epoch_capacity() {
+        let sched = scheduler(2);
+        let mut fleet = Fleet::new(
+            &sched,
+            FleetConfig {
+                quantum: NonZeroU32::new(4).unwrap(),
+                max_backlog: 64,
+                epoch_capacity: NonZeroU64::new(4),
+                ..FleetConfig::default()
+            },
+        );
+        let rt = fleet
+            .admit(SessionSpec::new(sense_chain(1)).with_class(PriorityClass::Realtime))
+            .unwrap();
+        let be_shed = fleet.admit(sheddable_chain(2)).unwrap();
+        let be_plain = fleet.admit(SessionSpec::new(sense_chain(3))).unwrap();
+        fleet.request(rt, 8).unwrap();
+        fleet.request(be_shed, 8).unwrap();
+        fleet.request(be_plain, 8).unwrap();
+
+        // Epoch 1: the whole capacity goes to realtime; best-effort
+        // runs zero real steps — the sheddable one degrades, the plain
+        // one starves.
+        let report = fleet.drive_epoch().unwrap();
+        assert_eq!(report.sessions, 3);
+        assert_eq!(report.by_class[PriorityClass::Realtime.index()].steps, 4);
+        let be = report.by_class[PriorityClass::BestEffort.index()];
+        assert_eq!(be.sessions, 2);
+        assert_eq!(
+            be.steps, 0,
+            "no lower-class step while realtime is backlogged"
+        );
+        assert_eq!(be.shed, 8, "shed falls entirely on the lowest class");
+        assert_eq!(be.starved, 1, "the unsheddable best-effort session starves");
+        assert_eq!(report.steps, 4);
+        assert_eq!(report.shed, 8);
+
+        // Epoch 2: realtime still holds the capacity.
+        let report = fleet.drive_epoch().unwrap();
+        assert_eq!(report.by_class[PriorityClass::Realtime.index()].steps, 4);
+        assert_eq!(report.by_class[PriorityClass::BestEffort.index()].steps, 0);
+        assert_eq!(fleet.peek(rt).unwrap().backlog, 0);
+
+        // Epoch 3: realtime is drained, so capacity flows down.
+        let report = fleet.drive_epoch().unwrap();
+        assert_eq!(report.by_class[PriorityClass::Realtime.index()].sessions, 0);
+        assert_eq!(report.by_class[PriorityClass::BestEffort.index()].steps, 4);
+        assert_eq!(fleet.peek(be_plain).unwrap().backlog, 4);
+    }
+
+    #[test]
+    fn per_session_quanta_weight_service_within_a_class() {
+        let sched = scheduler(2);
+        let mut fleet = Fleet::new(&sched, config(3, 64));
+        let light = fleet
+            .admit(
+                SessionSpec::new(sense_chain(1))
+                    .with_class(PriorityClass::Interactive)
+                    .with_quantum(NonZeroU32::new(1).unwrap()),
+            )
+            .unwrap();
+        let heavy = fleet
+            .admit(
+                SessionSpec::new(sense_chain(2))
+                    .with_class(PriorityClass::Interactive)
+                    .with_quantum(NonZeroU32::new(5).unwrap()),
+            )
+            .unwrap();
+        let default = fleet
+            .admit(SessionSpec::new(sense_chain(3)).with_class(PriorityClass::Interactive))
+            .unwrap();
+        for id in [light, heavy, default] {
+            fleet.request(id, 10).unwrap();
+        }
+        let report = fleet.drive_epoch().unwrap();
+        assert_eq!(fleet.peek(light).unwrap().steps, 1, "declared weight 1");
+        assert_eq!(fleet.peek(heavy).unwrap().steps, 5, "declared weight 5");
+        assert_eq!(fleet.peek(default).unwrap().steps, 3, "fleet default");
+        assert_eq!(report.by_class[PriorityClass::Interactive.index()].steps, 9);
+        assert_eq!(report.starved, 0);
+    }
+
+    #[test]
+    fn deadline_budgets_count_misses_per_class_without_obs() {
+        // An unobserved fleet: only deadline budgets force step timing.
+        let sched = scheduler(1);
+        let mut fleet = Fleet::new(&sched, config(8, 64));
+        let strict = fleet
+            .admit(
+                SessionSpec::new(sense_chain(1))
+                    .with_class(PriorityClass::Realtime)
+                    .with_deadline_ns(0),
+            )
+            .unwrap();
+        let lax = fleet
+            .admit(
+                SessionSpec::new(sense_chain(2))
+                    .with_class(PriorityClass::Interactive)
+                    .with_deadline_ns(u64::MAX),
+            )
+            .unwrap();
+        let unbudgeted = fleet.admit(SessionSpec::new(sense_chain(3))).unwrap();
+        for id in [strict, lax, unbudgeted] {
+            fleet.request(id, 5).unwrap();
+        }
+        let report = fleet.drive_epoch().unwrap();
+        assert_eq!(report.steps, 15);
+        assert_eq!(report.deadline_misses, 5, "a zero budget misses every step");
+        assert_eq!(
+            report.by_class[PriorityClass::Realtime.index()].deadline_misses,
+            5
+        );
+        assert_eq!(
+            report.by_class[PriorityClass::Interactive.index()].deadline_misses,
+            0
+        );
+        assert_eq!(
+            report.by_class[PriorityClass::BestEffort.index()].deadline_misses,
+            0
+        );
+        assert_eq!(fleet.peek(strict).unwrap().deadline_misses, 5);
+        assert_eq!(fleet.peek(lax).unwrap().deadline_misses, 0);
+        let evicted = fleet.evict(strict).unwrap();
+        assert_eq!(evicted.deadline_misses, 5);
+        assert_eq!(evicted.class, PriorityClass::Realtime);
+    }
+
+    #[test]
+    fn a_session_frozen_by_a_first_step_error_is_not_starved() {
+        let sched = scheduler(1);
+        let mut fleet = Fleet::new(&sched, config(4, 64));
+        // Width-mismatched conceal: fails on the very first step, so
+        // the session ends the epoch with zero steps and zero shed.
+        let bad = Pipeline::new()
+            .with_stage(SenseStage::new(2, 16, 10, 1, IntentSchedule::FigureEight).unwrap())
+            .with_stage(ConcealStage::new(8, DegradePolicy::ZeroFill).unwrap());
+        let bad_id = fleet.admit(SessionSpec::new(bad)).unwrap();
+        let good_id = fleet.admit(SessionSpec::new(sense_chain(2))).unwrap();
+        fleet.request(bad_id, 4).unwrap();
+        fleet.request(good_id, 4).unwrap();
+        assert!(fleet.drive_epoch().is_err());
+        // The error epoch's accounting survives on the fleet: the
+        // frozen session is served-and-failed, not starved.
+        let report = fleet.last_epoch();
+        assert_eq!(report.sessions, 2);
+        assert_eq!(report.steps, 4, "the healthy session still ran");
+        assert_eq!(report.starved, 0, "frozen-by-error is not starvation");
+        assert_eq!(
+            report.by_class[PriorityClass::BestEffort.index()].starved,
+            0
+        );
+    }
+
+    #[test]
+    fn shed_work_is_bounded_per_epoch_with_an_exact_ledger() {
+        let sched = scheduler(1);
+        let mut fleet = Fleet::new(
+            &sched,
+            FleetConfig {
+                quantum: NonZeroU32::new(2).unwrap(),
+                max_backlog: 64,
+                shed_quantum: NonZeroU32::new(3).unwrap(),
+                ..FleetConfig::default()
+            },
+        );
+        let id = fleet.admit(sheddable_chain(7)).unwrap();
+        let accepted = fleet.request(id, 20).unwrap();
+        assert_eq!(accepted, 20);
+        let mut total_steps = 0;
+        let mut total_shed = 0;
+        let mut epochs = 0;
+        while fleet.peek(id).unwrap().backlog > 0 {
+            let report = fleet.drive_epoch().unwrap();
+            assert!(report.shed <= 3, "shed quantum bounds each epoch");
+            total_steps += report.steps;
+            total_shed += report.shed;
+            epochs += 1;
+            // Conservation holds at every epoch boundary.
+            let peek = fleet.peek(id).unwrap();
+            assert_eq!(
+                total_steps + total_shed + u64::from(peek.backlog),
+                u64::from(accepted)
+            );
+            assert!(epochs <= 20, "the backlog must drain");
+        }
+        assert_eq!(epochs, 4, "draining 5 per epoch (2 real + 3 shed)");
+        assert_eq!(total_steps, 8);
+        assert_eq!(total_shed, 12);
+        let report = fleet.evict(id).unwrap();
+        assert_eq!(report.steps, 8);
+        assert_eq!(report.shed, 12);
+        let faults = report.telemetry.last().unwrap().faults.unwrap();
+        assert_eq!(faults.degraded, 12, "every shed step concealed, none lost");
     }
 }

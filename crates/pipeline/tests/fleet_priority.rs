@@ -1,0 +1,282 @@
+//! Property tests for the fleet's class scheduler.
+//!
+//! The scheduling law under test ([`Fleet::drive_epoch`]):
+//!
+//! * **Grant order** — epoch capacity is granted classes high-to-low,
+//!   slot order within a class; each ready session is granted
+//!   `min(backlog, quantum)` real steps, capacity permitting, and at
+//!   most `shed_quantum` shed steps for the backlog beyond the grant
+//!   (sessions without a shed point keep it queued).
+//! * **Strict priority** — no lower class runs a real step while a
+//!   higher class has unserved ready backlog.
+//! * **Conservation** — accepted = stepped + shed + leftover backlog,
+//!   per session, at every epoch boundary.
+//! * **Worker invariance** — the whole accounting (per-epoch per-class
+//!   rows, deadline misses, final ledgers) is identical on one worker
+//!   and on several: grants are fixed serially before any worker runs.
+//!
+//! The oracle below re-derives the grant law in plain arithmetic from
+//! the same inputs and must agree with the fleet field-for-field
+//! across random class mixes, per-session quanta, shed bounds, epoch
+//! capacities, and demand patterns.
+
+use std::num::{NonZeroU32, NonZeroU64, NonZeroUsize};
+
+use mindful_core::pool::Scheduler;
+use mindful_pipeline::prelude::*;
+use mindful_pipeline::ClassReport;
+use proptest::prelude::*;
+
+const SAMPLE_BITS: u8 = 10;
+
+/// One randomly drawn session: its class, optional weight, whether it
+/// can shed, and whether it carries an unmeetable zero deadline (the
+/// deterministic way to exercise miss accounting — every real step of
+/// such a session is a miss, no step of any other session is).
+#[derive(Debug, Clone, Copy)]
+struct SessionPlan {
+    class: PriorityClass,
+    quantum: Option<u32>,
+    sheddable: bool,
+    zero_deadline: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ConfigPlan {
+    quantum: u32,
+    max_backlog: u32,
+    shed_quantum: u32,
+    epoch_capacity: Option<u64>,
+}
+
+fn session_strategy() -> impl Strategy<Value = SessionPlan> {
+    // Quantum 0 encodes "no per-session quantum" (the fleet default).
+    (
+        0_usize..PriorityClass::COUNT,
+        0_u32..=6,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(class, quantum, sheddable, zero_deadline)| SessionPlan {
+            class: PriorityClass::ALL[class],
+            quantum: (quantum > 0).then_some(quantum),
+            sheddable,
+            zero_deadline,
+        })
+}
+
+fn config_strategy() -> impl Strategy<Value = ConfigPlan> {
+    // Capacity 0 encodes "unlimited" (no epoch capacity).
+    (1_u32..=6, 4_u32..=16, 1_u32..=8, 0_u64..=64).prop_map(
+        |(quantum, max_backlog, shed_quantum, epoch_capacity)| ConfigPlan {
+            quantum,
+            max_backlog,
+            shed_quantum,
+            epoch_capacity: (epoch_capacity > 0).then_some(epoch_capacity),
+        },
+    )
+}
+
+/// The demand session `s` requests in `round`, folded from one drawn
+/// byte vector so shrinking stays effective.
+fn demand(demands: &[u32], s: usize, round: usize) -> u32 {
+    demands[(s * 7 + round * 11) % demands.len()]
+}
+
+fn build_spec(plan: SessionPlan, seed: u64) -> SessionSpec {
+    let spec = if plan.sheddable {
+        SessionSpec::new(
+            Pipeline::new()
+                .with_stage(
+                    SenseStage::new(2, 16, SAMPLE_BITS, seed, IntentSchedule::FigureEight).unwrap(),
+                )
+                .with_stage(ConcealStage::new(4, DegradePolicy::HoldLast).unwrap()),
+        )
+        .with_shed(1, FrameKind::Codes)
+    } else {
+        SessionSpec::new(
+            Pipeline::new()
+                .with_stage(
+                    SenseStage::new(2, 16, SAMPLE_BITS, seed, IntentSchedule::FigureEight).unwrap(),
+                )
+                .with_stage(PacketizeStage::new(SAMPLE_BITS).unwrap()),
+        )
+    };
+    let spec = spec.with_class(plan.class);
+    let spec = match plan.quantum {
+        Some(q) => spec.with_quantum(NonZeroU32::new(q).unwrap()),
+        None => spec,
+    };
+    if plan.zero_deadline {
+        spec.with_deadline_ns(0)
+    } else {
+        spec
+    }
+}
+
+/// One oracle epoch: replays the grant law in plain arithmetic over
+/// the mutable backlogs and returns the expected per-class rows plus
+/// each class's capacity-free want (for the strict-priority check).
+fn oracle_epoch(
+    plans: &[SessionPlan],
+    backlogs: &mut [u32],
+    config: ConfigPlan,
+) -> (
+    [ClassReport; PriorityClass::COUNT],
+    [u64; PriorityClass::COUNT],
+) {
+    let mut by_class = [ClassReport::default(); PriorityClass::COUNT];
+    let mut want_full = [0_u64; PriorityClass::COUNT];
+    let mut capacity = config.epoch_capacity;
+    for (ci, class) in PriorityClass::ALL.iter().enumerate() {
+        for (s, plan) in plans.iter().enumerate() {
+            if plan.class != *class || backlogs[s] == 0 {
+                continue;
+            }
+            by_class[ci].sessions += 1;
+            let quantum = plan.quantum.unwrap_or(config.quantum);
+            let want = backlogs[s].min(quantum);
+            want_full[ci] += u64::from(want);
+            let grant = match capacity.as_mut() {
+                Some(cap) => {
+                    let grant = want.min(u32::try_from(*cap).unwrap_or(u32::MAX));
+                    *cap -= u64::from(grant);
+                    grant
+                }
+                None => want,
+            };
+            let shed = if plan.sheddable {
+                (backlogs[s] - grant).min(config.shed_quantum)
+            } else {
+                0
+            };
+            by_class[ci].steps += u64::from(grant);
+            by_class[ci].shed += u64::from(shed);
+            if plan.zero_deadline {
+                by_class[ci].deadline_misses += u64::from(grant);
+            }
+            if grant == 0 && shed == 0 {
+                by_class[ci].starved += 1;
+            }
+            backlogs[s] -= grant + shed;
+        }
+    }
+    (by_class, want_full)
+}
+
+/// Runs the drawn scenario on a real fleet and returns, per epoch, the
+/// fleet's per-class rows, plus the final per-session
+/// (steps, shed, backlog, rejected, deadline_misses) ledgers.
+#[allow(clippy::type_complexity)]
+fn run_fleet(
+    plans: &[SessionPlan],
+    config: ConfigPlan,
+    demands: &[u32],
+    rounds: usize,
+    workers: usize,
+) -> (
+    Vec<[ClassReport; PriorityClass::COUNT]>,
+    Vec<(u64, u64, u32, u64, u64)>,
+) {
+    let sched = Scheduler::new(NonZeroUsize::new(workers).unwrap());
+    let mut fleet = Fleet::new(
+        &sched,
+        FleetConfig {
+            quantum: NonZeroU32::new(config.quantum).unwrap(),
+            max_backlog: config.max_backlog,
+            shed_quantum: NonZeroU32::new(config.shed_quantum).unwrap(),
+            epoch_capacity: config.epoch_capacity.and_then(NonZeroU64::new),
+            ..FleetConfig::default()
+        },
+    );
+    let ids: Vec<SessionId> = plans
+        .iter()
+        .enumerate()
+        .map(|(s, &plan)| fleet.admit(build_spec(plan, 1000 + s as u64)).unwrap())
+        .collect();
+    let mut epochs = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        for (s, &id) in ids.iter().enumerate() {
+            fleet.request(id, demand(demands, s, round)).unwrap();
+        }
+        let report = fleet.drive_epoch().unwrap();
+        epochs.push(report.by_class);
+    }
+    let ledgers = ids
+        .iter()
+        .map(|&id| {
+            let r = fleet.evict(id).unwrap();
+            (r.steps, r.shed, r.backlog, r.rejected, r.deadline_misses)
+        })
+        .collect();
+    (epochs, ledgers)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fleet's per-class epoch rows match the arithmetic oracle
+    /// field-for-field, strict priority holds, every ledger conserves,
+    /// and none of it depends on the worker count.
+    #[test]
+    fn class_scheduler_matches_the_grant_oracle(
+        plans in prop::collection::vec(session_strategy(), 1..11),
+        config in config_strategy(),
+        demands in prop::collection::vec(0_u32..=20, 1..25),
+        rounds in 1_usize..=4,
+    ) {
+        let (epochs, ledgers) = run_fleet(&plans, config, &demands, rounds, 1);
+
+        // Oracle replay: accepted demand and the grant law in plain
+        // arithmetic.
+        let mut backlogs = vec![0_u32; plans.len()];
+        let mut accepted = vec![0_u64; plans.len()];
+        let mut rejected = vec![0_u64; plans.len()];
+        for (round, fleet_rows) in epochs.iter().enumerate() {
+            for (s, backlog) in backlogs.iter_mut().enumerate() {
+                let want = demand(&demands, s, round);
+                let got = want.min(config.max_backlog - *backlog);
+                *backlog += got;
+                accepted[s] += u64::from(got);
+                rejected[s] += u64::from(want - got);
+            }
+            let (expect_rows, want_full) = oracle_epoch(&plans, &mut backlogs, config);
+            prop_assert_eq!(fleet_rows, &expect_rows, "round {}", round);
+
+            // Strict priority: a lower class only runs real steps when
+            // every higher class got its full capacity-free want.
+            for ci in 1..PriorityClass::COUNT {
+                if fleet_rows[ci].steps > 0 {
+                    for hi in 0..ci {
+                        prop_assert_eq!(
+                            fleet_rows[hi].steps, want_full[hi],
+                            "round {}: class {} ran while class {} was short",
+                            round, ci, hi
+                        );
+                    }
+                }
+            }
+        }
+
+        // Final ledgers: conservation per session, and the leftover
+        // backlog is exactly what the oracle still holds.
+        for (s, &(steps, shed, backlog, rej, misses)) in ledgers.iter().enumerate() {
+            prop_assert_eq!(
+                steps + shed + u64::from(backlog), accepted[s],
+                "session {}: accepted = stepped + shed + leftover", s
+            );
+            prop_assert_eq!(u64::from(backlog), u64::from(backlogs[s]), "session {}", s);
+            prop_assert_eq!(rej, rejected[s], "session {}", s);
+            if plans[s].zero_deadline {
+                prop_assert_eq!(misses, steps, "session {}: every step misses", s);
+            } else {
+                prop_assert_eq!(misses, 0, "session {}", s);
+            }
+        }
+
+        // Worker invariance: 1 worker and 3 workers agree on all of it.
+        let (epochs3, ledgers3) = run_fleet(&plans, config, &demands, rounds, 3);
+        prop_assert_eq!(epochs, epochs3, "per-epoch rows are worker-invariant");
+        prop_assert_eq!(ledgers, ledgers3, "final ledgers are worker-invariant");
+    }
+}

@@ -23,7 +23,7 @@
 //! Set `MINDFUL_SOAK_QUICK=1` (CI short mode) to shrink the round
 //! count; the session count stays above one thousand in both modes.
 
-use std::num::{NonZeroU32, NonZeroUsize};
+use std::num::{NonZeroU32, NonZeroU64, NonZeroUsize};
 use std::sync::Arc;
 
 use mindful_core::obs::Registry;
@@ -248,6 +248,7 @@ fn soak_multiplexes_a_thousand_heterogeneous_sessions() {
         capacity: NonZeroUsize::new(2048).unwrap(),
         quantum: NonZeroU32::new(4).unwrap(),
         max_backlog: 12,
+        ..FleetConfig::default()
     };
     let mut fleet = Fleet::observed(&sched, config, &registry, "serve");
 
@@ -408,6 +409,7 @@ fn fleet_accounting_is_worker_count_invariant() {
             capacity: NonZeroUsize::new(SESSIONS).unwrap(),
             quantum: NonZeroU32::new(4).unwrap(),
             max_backlog: 12,
+            ..FleetConfig::default()
         };
         let mut fleet = Fleet::new(&sched, config);
         let ids: Vec<SessionId> = (0..SESSIONS)
@@ -440,4 +442,198 @@ fn fleet_accounting_is_worker_count_invariant() {
             .collect()
     };
     assert_eq!(run(1), run(5), "scheduling never changes the outputs");
+}
+
+/// The priority soak: a saturating best-effort majority must never
+/// push the realtime minority past its deadline budget.
+///
+/// 8 realtime motor-decode-shaped sessions (a host-noise-tolerant
+/// multiple of the paper's ~500 µs per-sample deadline as their
+/// budget — see `RT_DEADLINE_NS` below) share the fleet with 16
+/// interactive monitors and 96 best-effort bulk-telemetry sessions
+/// whose demand alone exceeds the epoch capacity. Every epoch must:
+///
+/// * serve realtime first and in full — zero deadline misses, gated
+///   through the per-class `serve.realtime.step_ns` registry
+///   histogram (the same measurement that feeds the miss counters);
+/// * shed **only** from the lowest class — realtime and interactive
+///   shed nothing, best-effort absorbs the entire overload;
+/// * balance the conservation ledger per class: accepted = stepped +
+///   shed + leftover backlog, class by class.
+#[test]
+fn priority_soak_protects_realtime_deadlines_under_best_effort_saturation() {
+    const RT: usize = 8;
+    const IA: usize = 16;
+    const BE: usize = 96;
+    const RT_QUANTUM: u32 = 8;
+    const IA_QUANTUM: u32 = 4;
+    const BE_QUANTUM: u32 = 4;
+    const BE_DEMAND: u32 = 12;
+    /// The realtime budget. The paper's motor-decode deadline is
+    /// ~500 µs, but a wall-clock gate at that scale flakes on shared
+    /// CI hosts: with more worker threads than cores the OS can park
+    /// a thread mid-step for a few timeslices, which is host noise,
+    /// not a scheduling failure. 100 ms only trips when a realtime
+    /// step is genuinely stuck behind lower-class work — the
+    /// pathology this soak exists to rule out. The 500 µs figure is
+    /// measured (not gated) by the realtime study and serve bench.
+    const RT_DEADLINE_NS: u64 = 100_000_000;
+    // Capacity covers realtime and interactive in full, then a quarter
+    // of the best-effort quanta — best-effort demand saturates it
+    // every epoch.
+    const CAPACITY: u64 =
+        (RT as u64 * RT_QUANTUM as u64) + (IA as u64 * IA_QUANTUM as u64) + BE as u64;
+
+    let kit = ClassKit::new();
+    let sched = Scheduler::new(NonZeroUsize::new(4).unwrap());
+    let registry = Registry::new();
+    let config = FleetConfig {
+        capacity: NonZeroUsize::new(256).unwrap(),
+        quantum: NonZeroU32::new(BE_QUANTUM).unwrap(),
+        max_backlog: 16,
+        epoch_capacity: NonZeroU64::new(CAPACITY),
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::observed(&sched, config, &registry, "serve");
+
+    // Realtime: cheap sense→packetize chains with the paper deadline.
+    let rt_ids: Vec<SessionId> = (0..RT)
+        .map(|s| {
+            fleet
+                .admit(
+                    kit.spec(0, 100 + s as u64)
+                        .with_class(PriorityClass::Realtime)
+                        .with_quantum(NonZeroU32::new(RT_QUANTUM).unwrap())
+                        .with_deadline_ns(RT_DEADLINE_NS),
+                )
+                .unwrap()
+        })
+        .collect();
+    // Interactive monitors: served after realtime, before bulk.
+    let ia_ids: Vec<SessionId> = (0..IA)
+        .map(|s| {
+            fleet
+                .admit(
+                    kit.spec(0, 200 + s as u64)
+                        .with_class(PriorityClass::Interactive)
+                        .with_quantum(NonZeroU32::new(IA_QUANTUM).unwrap()),
+                )
+                .unwrap()
+        })
+        .collect();
+    // Best-effort bulk telemetry: sheddable, default class, and an
+    // intentionally unmeetable zero deadline budget so the per-class
+    // miss accounting has a hot lowest class to bite on.
+    let be_ids: Vec<SessionId> = (0..BE)
+        .map(|s| {
+            fleet
+                .admit(kit.spec(1, 300 + s as u64).with_deadline_ns(0))
+                .unwrap()
+        })
+        .collect();
+
+    let rounds = rounds();
+    let mut accepted = [0_u64; 3];
+    for round in 0..rounds {
+        for &id in &rt_ids {
+            accepted[0] += u64::from(fleet.request(id, RT_QUANTUM).unwrap());
+        }
+        for &id in &ia_ids {
+            accepted[1] += u64::from(fleet.request(id, IA_QUANTUM).unwrap());
+        }
+        for &id in &be_ids {
+            accepted[2] += u64::from(fleet.request(id, BE_DEMAND).unwrap());
+        }
+        let report = fleet.drive_epoch().unwrap();
+
+        let rt = report.by_class[PriorityClass::Realtime.index()];
+        assert_eq!(rt.sessions, RT, "round {round}");
+        assert_eq!(
+            rt.steps,
+            RT as u64 * u64::from(RT_QUANTUM),
+            "round {round}: realtime served in full"
+        );
+        assert_eq!(
+            rt.deadline_misses, 0,
+            "round {round}: saturation never costs realtime its deadline"
+        );
+        assert_eq!(rt.shed, 0, "round {round}");
+        assert_eq!(rt.starved, 0, "round {round}");
+
+        let ia = report.by_class[PriorityClass::Interactive.index()];
+        assert_eq!(ia.steps, IA as u64 * u64::from(IA_QUANTUM), "round {round}");
+        assert_eq!(ia.shed, 0, "round {round}: shedding starts at the bottom");
+
+        let be = report.by_class[PriorityClass::BestEffort.index()];
+        assert_eq!(be.steps, BE as u64, "round {round}: the leftover capacity");
+        assert_eq!(
+            report.shed, be.shed,
+            "round {round}: every shed step is best-effort"
+        );
+        assert!(be.shed > 0, "round {round}: saturation really shed");
+        assert_eq!(
+            be.starved, 0,
+            "round {round}: shed sessions are served, degraded"
+        );
+        assert_eq!(
+            report.steps, CAPACITY,
+            "round {round}: capacity-bound epoch"
+        );
+    }
+
+    // Per-class conservation: accepted = stepped + shed + leftover.
+    let mut served = [0_u64; 3];
+    for (class, ids) in [(0, &rt_ids), (1, &ia_ids), (2, &be_ids)] {
+        for &id in ids {
+            let report = fleet.evict(id).unwrap();
+            served[class] += report.steps + report.shed + u64::from(report.backlog);
+            if class < 2 {
+                assert_eq!(report.deadline_misses, 0, "{id}");
+                assert_eq!(report.shed, 0, "{id}");
+            }
+        }
+    }
+    assert_eq!(served, accepted, "per-class ledgers balance exactly");
+
+    #[cfg(feature = "obs")]
+    {
+        let snap = registry.snapshot();
+        let rt_steps = rounds as u64 * RT as u64 * u64::from(RT_QUANTUM);
+        // The deadline gate runs through the registry histograms: every
+        // realtime step's latency sample landed, and none missed.
+        let rt_hist = snap.histogram("serve.realtime.step_ns").unwrap();
+        assert_eq!(rt_hist.count, rt_steps, "one sample per realtime step");
+        assert!(
+            rt_hist.quantile_upper_bound(1.0).unwrap() <= RT_DEADLINE_NS
+                || snap.counter("serve.realtime.deadline_misses") == Some(0),
+            "the histogram tail and the miss counter agree"
+        );
+        assert_eq!(snap.counter("serve.realtime.deadline_misses"), Some(0));
+        assert_eq!(snap.counter("serve.realtime.steps"), Some(rt_steps));
+        assert_eq!(snap.counter("serve.realtime.shed"), Some(0));
+        assert_eq!(
+            snap.counter("serve.interactive.steps"),
+            Some(rounds as u64 * IA as u64 * u64::from(IA_QUANTUM))
+        );
+        assert_eq!(snap.counter("serve.interactive.shed"), Some(0));
+        assert_eq!(
+            snap.counter("serve.best_effort.steps"),
+            Some(rounds as u64 * BE as u64)
+        );
+        // The zero-budget bulk class misses on every real step — the
+        // per-class attribution never leaks across classes.
+        assert_eq!(
+            snap.counter("serve.best_effort.deadline_misses"),
+            Some(rounds as u64 * BE as u64)
+        );
+        let shed = snap.counter("serve.best_effort.shed").unwrap();
+        assert_eq!(snap.counter("serve.shed"), Some(shed));
+        assert!(shed > 0);
+        assert_eq!(
+            snap.counter("serve.deadline_misses"),
+            snap.counter("serve.best_effort.deadline_misses")
+        );
+    }
+    #[cfg(not(feature = "obs"))]
+    drop(registry);
 }

@@ -241,6 +241,7 @@ fn warm_fleet_epoch_is_allocation_free() {
         capacity: NonZeroUsize::new(8).unwrap(),
         quantum: NonZeroU32::new(4).unwrap(),
         max_backlog: 16,
+        ..FleetConfig::default()
     };
     let mut fleet = Fleet::observed(&sched, config, &registry, "zfleet");
     // One plain chain (backlogged under pressure, rejections at the
